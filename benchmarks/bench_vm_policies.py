@@ -1,0 +1,97 @@
+"""E2 — Migration time vs. VM size under the four transfer policies
+(thesis §4.2.1 figure).
+
+The paper's qualitative comparison: monolithic copy freezes the process
+for the whole transfer; V's pre-copy shrinks the freeze at the price of
+extra total bytes; Accent's copy-on-reference migrates almost
+instantly but leaves a residual dependency; Sprite's flush-to-server
+pays only for *dirty* pages at freeze time and leaves nothing behind.
+"""
+
+from __future__ import annotations
+
+from repro import MB, SpriteCluster
+from repro.metrics import Series, Table
+from repro.migration import POLICIES
+from repro.sim import Sleep, spawn
+
+from common import run_simulated
+
+VM_SIZES_MB = (1, 2, 4, 8)
+DIRTY_FRACTION = 0.25
+DIRTY_RATE = 64 * 1024   # bytes/sec re-dirtied during pre-copy rounds
+
+
+def migrate_with_policy(policy_name: str, vm_mb: int):
+    cluster = SpriteCluster(
+        workstations=2, start_daemons=False, vm_policy=policy_name
+    )
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    vm_bytes = vm_mb * MB
+
+    def job(proc):
+        yield from proc.use_memory(vm_bytes)
+        yield from proc.dirty_memory(int(vm_bytes * DIRTY_FRACTION))
+        proc.pcb.vm.dirty_rate_hint = DIRTY_RATE
+        yield from proc.compute(120.0)
+        return 0
+
+    pcb, _ = a.spawn_process(job, name="subject")
+    records = []
+
+    def driver():
+        yield Sleep(1.0)
+        record = yield from cluster.managers[a.address].migrate(pcb, b.address)
+        records.append(record)
+
+    spawn(cluster.sim, driver(), name="driver")
+    cluster.run_until_complete(pcb.task)
+    return records[0]
+
+
+def build_artifacts():
+    figure = Series(
+        title="E2: freeze time vs VM size by policy (25% dirty)",
+        x_label="VM size (MB)",
+        y_label="freeze time (s)",
+    )
+    table = Table(
+        title="E2: VM transfer policies at 8 MB (25% dirty)",
+        columns=["policy", "freeze (s)", "total bytes (MB)", "rounds",
+                 "residual dependency"],
+    )
+    last = {}
+    for policy_name in sorted(POLICIES):
+        for vm_mb in VM_SIZES_MB:
+            record = migrate_with_policy(policy_name, vm_mb)
+            figure.add_point(policy_name, vm_mb, record.freeze_time)
+            last[policy_name] = record
+        record = last[policy_name]
+        table.add_row(
+            policy_name,
+            record.freeze_time,
+            record.vm.bytes_total / MB,
+            record.vm.rounds,
+            "yes" if record.vm.residual_dependency else "no",
+        )
+    return figure, table, last
+
+
+def test_e2_vm_policies(benchmark, archive):
+    figure, table, last = run_simulated(benchmark, build_artifacts)
+    archive("E2_vm_policies", figure.render() + "\n\n" + table.render())
+    # The paper's ordering at large VM: the full monolithic copy freezes
+    # far longer than every alternative; COR and pre-copy both collapse
+    # the freeze to near the state-packaging floor.
+    freeze = {name: rec.freeze_time for name, rec in last.items()}
+    assert freeze["full-copy"] > 5 * freeze["pre-copy"]
+    assert freeze["full-copy"] > 5 * freeze["copy-on-reference"]
+    assert freeze["flush-to-server"] < freeze["full-copy"]
+    # Flush pays for the dirty fraction: between the cheap policies and
+    # the monolithic copy.
+    assert freeze["flush-to-server"] > freeze["copy-on-reference"]
+    # Residual dependency is unique to copy-on-reference.
+    assert last["copy-on-reference"].vm.residual_dependency
+    assert not last["flush-to-server"].vm.residual_dependency
+    # Pre-copy moves more total bytes than the image.
+    assert last["pre-copy"].vm.bytes_total >= 8 * MB

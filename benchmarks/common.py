@@ -1,0 +1,13 @@
+"""Helpers importable by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_simulated(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark.
+
+    The simulations are deterministic and their *simulated* results are
+    the artifact; wall-clock timing is recorded once for bookkeeping
+    rather than statistics.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

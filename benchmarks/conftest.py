@@ -1,0 +1,29 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation, prints it, and archives the rendering under
+``benchmarks/results/`` so `pytest benchmarks/ --benchmark-only` leaves
+the full set of artifacts behind.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def archive():
+    """Callable: archive(name, rendered_text) -> path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _archive(name: str, text: str) -> pathlib.Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[archived to {path}]")
+        return path
+
+    return _archive

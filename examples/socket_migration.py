@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Internet sockets across migration (the [Che87] design).
+
+Sprite proxies TCP/UDP through a user-level Internet server behind a
+pseudo-device, so a process's sockets are location-independent: this
+demo migrates a client mid-conversation with a server process on a
+third machine, and the byte stream continues unbroken.
+
+Run:  python examples/socket_migration.py
+"""
+
+from repro import SpriteCluster
+from repro.inet import InternetServer, Sockets
+from repro.sim import Sleep, spawn
+
+
+def main():
+    cluster = SpriteCluster(workstations=4, start_daemons=False)
+    ip_host = cluster.hosts[3]
+    ip_server = InternetServer(ip_host)
+    ip_server.start()
+    server_host, client_home, client_target = (
+        cluster.hosts[0], cluster.hosts[1], cluster.hosts[2]
+    )
+    client_pcb_holder = []
+
+    def tcp_server(proc):
+        net = Sockets(proc)
+        listener = yield from net.socket("stream")
+        yield from net.bind(listener, 80)
+        yield from net.listen(listener)
+        conn = yield from net.accept(listener)
+        total = 0
+        while True:
+            got = yield from net.recv(conn, 65536)
+            if got == 0:
+                break
+            total += got
+            print(f"[t={proc.now:6.2f}s] server received {got} bytes "
+                  f"(total {total})")
+        return total
+
+    def tcp_client(proc):
+        client_pcb_holder.append(proc.pcb)
+        net = Sockets(proc)
+        sock = yield from net.socket("stream")
+        yield from proc.sleep(0.5)
+        yield from net.connect(sock, 80)
+        for round_index in range(5):
+            yield from net.send(sock, 8_192)
+            where = next(h.name for h in cluster.hosts
+                         if h.address == proc.pcb.current)
+            print(f"[t={proc.now:6.2f}s] client sent 8 KB from {where}")
+            yield from proc.compute(1.0)
+        yield from net.close(sock)
+        return 0
+
+    server_pcb, _ = server_host.spawn_process(tcp_server, name="tcpd")
+    client_pcb, _ = client_home.spawn_process(tcp_client, name="client")
+
+    def migrate_client():
+        yield Sleep(2.2)
+        victim = client_pcb_holder[0]
+        print(f"[t={cluster.sim.now:6.2f}s] migrating the client "
+              f"{client_home.name} -> {client_target.name} mid-conversation")
+        yield from cluster.managers[victim.current].migrate(
+            victim, client_target.address
+        )
+
+    spawn(cluster.sim, migrate_client(), name="migrator")
+    total = cluster.run_until_complete(server_pcb.task)
+    print(f"\nserver total: {total} bytes — the connection never noticed "
+          f"the client moved (IP server switched "
+          f"{ip_server.bytes_switched} bytes)")
+
+
+if __name__ == "__main__":
+    main()

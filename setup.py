@@ -1,0 +1,5 @@
+"""Legacy setup shim: the offline environment lacks wheel/PEP-517 support."""
+
+from setuptools import setup
+
+setup()

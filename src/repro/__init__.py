@@ -1,0 +1,38 @@
+"""repro — Transparent process migration in the Sprite operating system.
+
+A faithful, simulation-substrate reproduction of Douglis & Ousterhout's
+Sprite process migration (ICDCS 1987; Douglis's 1990 thesis; SPE 1991):
+the migration mechanism with home-node transparency, four VM-transfer
+policies, open-file hand-off over a caching network file system, host
+selection, eviction, and the parallel-make / simulation workloads the
+paper evaluates with.
+
+Quick start::
+
+    from repro import SpriteCluster
+
+    cluster = SpriteCluster(workstations=4)
+
+    def job(proc):
+        yield from proc.compute(2.0)
+        host = yield from proc.gethostname()
+        return host
+
+    print(cluster.run_process(cluster.hosts[0], job, name="hello"))
+"""
+
+from .cluster import ServerHost, SpriteCluster
+from .config import KB, MB, MS, US, ClusterParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterParams",
+    "KB",
+    "MB",
+    "MS",
+    "US",
+    "ServerHost",
+    "SpriteCluster",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Baselines the thesis compares against.
+
+rsh-style remote invocation (:mod:`.rsh`), Remote UNIX total forwarding
+(:mod:`.forwarding`, ablation A2), Condor checkpoint/restart
+(:mod:`.condor`), and the placement-only policy scenario
+(:mod:`.placement`, experiment E11).
+"""
+
+from .condor import CondorJob, CondorJobResult, CondorScheduler
+from .forwarding import ForwardingProcess, ForwardingSurrogate, remote_unix_run
+from .placement import POLICIES, PlacementOutcome, run_placement_scenario
+from .rsh import RshResult, rsh_run
+
+__all__ = [
+    "CondorJob",
+    "CondorJobResult",
+    "CondorScheduler",
+    "ForwardingProcess",
+    "ForwardingSurrogate",
+    "POLICIES",
+    "PlacementOutcome",
+    "RshResult",
+    "remote_unix_run",
+    "rsh_run",
+    "run_placement_scenario",
+]

@@ -1,0 +1,183 @@
+"""Condor-style checkpoint/restart [LLM88, SI89] — the other migration.
+
+Condor "migrates" by checkpointing a job's entire memory image to a
+file and restarting it elsewhere; work since the last checkpoint is
+lost, checkpoints cost a full image write, and jobs are restricted
+(single process, batch, no interactive I/O).  Compared with Sprite's
+eviction this trades transparency and efficiency for kernel simplicity.
+
+The scheduler here reproduces Condor's behaviour faithfully enough for
+the comparison benchmarks: periodic checkpoints to the shared FS,
+eviction-by-kill when a host's owner returns, restart from the last
+checkpoint on the next idle host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from ..config import MB
+from ..cluster import SpriteCluster
+from ..fs import BackingFile
+from ..kernel import Host
+from ..sim import Effect, Sleep, Task, spawn
+
+__all__ = ["CondorJob", "CondorScheduler", "CondorJobResult"]
+
+
+@dataclass
+class CondorJob:
+    """A batch job: pure CPU demand plus a memory image to checkpoint."""
+
+    job_id: int
+    cpu_seconds: float
+    image_bytes: int = 1 * MB
+
+    # Progress bookkeeping (owned by the scheduler).
+    completed_cpu: float = 0.0
+    checkpointed_cpu: float = 0.0
+    restarts: int = 0
+    checkpoints: int = 0
+    lost_cpu: float = 0.0
+    submitted_at: float = 0.0
+    finished_at: Optional[float] = None
+
+
+@dataclass
+class CondorJobResult:
+    job: CondorJob
+
+    @property
+    def turnaround(self) -> float:
+        assert self.job.finished_at is not None
+        return self.job.finished_at - self.job.submitted_at
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Turnaround relative to the job's pure CPU demand."""
+        return self.turnaround / self.job.cpu_seconds
+
+
+class CondorScheduler:
+    """Central matchmaker: queue jobs, run them on idle hosts.
+
+    ``checkpoint_period`` controls the classic trade-off: frequent
+    checkpoints cost image writes; rare ones lose more work at each
+    eviction.
+    """
+
+    def __init__(
+        self,
+        cluster: SpriteCluster,
+        checkpoint_period: float = 300.0,
+        poll_period: float = 5.0,
+    ):
+        self.cluster = cluster
+        self.checkpoint_period = checkpoint_period
+        self.poll_period = poll_period
+        self.queue: List[CondorJob] = []
+        self.results: List[CondorJobResult] = []
+        self.evictions = 0
+        self._runner_tasks: List[Task] = []
+        self._next_ckpt_path = 0
+        self._done_count = 0
+        self._submitted = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, job: CondorJob) -> None:
+        job.submitted_at = self.cluster.sim.now
+        self.queue.append(job)
+        self._submitted += 1
+
+    def start(self) -> Task:
+        """Launch the matchmaking loop; returns its task."""
+        return spawn(
+            self.cluster.sim, self._matchmaker(), name="condor-matchmaker",
+            daemon=True,
+        )
+
+    @property
+    def all_done(self) -> bool:
+        return self._done_count == self._submitted
+
+    # ------------------------------------------------------------------
+    def _matchmaker(self) -> Generator[Effect, None, None]:
+        busy_hosts: set = set()
+        while True:
+            while self.queue:
+                host = self._find_idle_host(busy_hosts)
+                if host is None:
+                    break
+                job = self.queue.pop(0)
+                busy_hosts.add(host.address)
+                task = spawn(
+                    self.cluster.sim,
+                    self._run_job(job, host, busy_hosts),
+                    name=f"condor-job{job.job_id}@{host.name}",
+                    daemon=True,
+                )
+                self._runner_tasks.append(task)
+            yield Sleep(self.poll_period)
+
+    def _find_idle_host(self, busy_hosts: set) -> Optional[Host]:
+        for host in self.cluster.hosts:
+            if host.address in busy_hosts:
+                continue
+            if host.is_available():
+                return host
+        return None
+
+    # ------------------------------------------------------------------
+    def _run_job(
+        self, job: CondorJob, host: Host, busy_hosts: set
+    ) -> Generator[Effect, None, None]:
+        """Execute (a segment of) a job on one host until done/evicted."""
+        sim = self.cluster.sim
+        try:
+            # Restart: fetch the checkpoint image from the shared FS.
+            if job.restarts or job.checkpoints:
+                yield from self._image_io(host, job.image_bytes, write=False)
+                job.completed_cpu = job.checkpointed_cpu
+            next_checkpoint = sim.now + self.checkpoint_period
+            while job.completed_cpu < job.cpu_seconds:
+                if host.user_present or (
+                    host.input_idle_seconds() < host.params.idle_input_threshold
+                    and host.last_input > 0
+                ):
+                    # Owner returned: kill and requeue (Condor eviction).
+                    self.evictions += 1
+                    job.lost_cpu += job.completed_cpu - job.checkpointed_cpu
+                    job.restarts += 1
+                    self.queue.append(job)
+                    return
+                slice_end_cpu = min(
+                    job.cpu_seconds,
+                    job.completed_cpu + 1.0,
+                )
+                demand = slice_end_cpu - job.completed_cpu
+                yield from host.cpu.consume(demand)
+                job.completed_cpu = slice_end_cpu
+                if sim.now >= next_checkpoint and job.completed_cpu < job.cpu_seconds:
+                    yield from self._image_io(host, job.image_bytes, write=True)
+                    job.checkpointed_cpu = job.completed_cpu
+                    job.checkpoints += 1
+                    next_checkpoint = sim.now + self.checkpoint_period
+            job.finished_at = sim.now
+            self.results.append(CondorJobResult(job=job))
+            self._done_count += 1
+        finally:
+            busy_hosts.discard(host.address)
+
+    def _image_io(
+        self, host: Host, nbytes: int, write: bool
+    ) -> Generator[Effect, None, None]:
+        """Checkpoint image write/read through the shared file system."""
+        path = f"/condor/ckpt{self._next_ckpt_path}"
+        self._next_ckpt_path += 1
+        backing = BackingFile(host.fs, path)
+        yield from backing.create()
+        if write:
+            yield from backing.page_out(nbytes)
+        else:
+            yield from backing.page_in(nbytes)

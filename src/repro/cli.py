@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Conveniences for exploring the reproduction from a checkout:
+
+* ``python -m repro info`` — calibration parameters and the Appendix-A
+  kernel-call histogram.
+* ``python -m repro demo <name>`` — run one of the example scenarios.
+* ``python -m repro experiment <id>`` — regenerate one paper artifact
+  (delegates to the pytest benchmark for that experiment).
+* ``python -m repro list`` — what's available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import runpy
+import subprocess
+import sys
+from dataclasses import fields
+from typing import Dict, Optional
+
+__all__ = ["main"]
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+DEMOS: Dict[str, str] = {
+    "quickstart": "quickstart.py",
+    "pmake": "parallel_make.py",
+    "eviction": "eviction_demo.py",
+    "selection": "host_selection_tour.py",
+    "faults": "fault_tolerance_demo.py",
+    "sockets": "socket_migration.py",
+}
+
+EXPERIMENTS: Dict[str, str] = {
+    "E1": "bench_migration_breakdown.py",
+    "E2": "bench_vm_policies.py",
+    "E3": "bench_forwarding.py",
+    "A2": "bench_forwarding.py",
+    "E4": "bench_exec_migration.py",
+    "E5": "bench_pmake_speedup.py",
+    "E6": "bench_simfarm.py",
+    "E7": "bench_host_selection.py",
+    "A1": "bench_host_selection.py",
+    "E8": "bench_eviction.py",
+    "E9": "bench_availability.py",
+    "E10": "bench_usage_month.py",
+    "E11": "bench_placement_vs_migration.py",
+    "E12": "bench_distributed_selection.py",
+    "A3": "bench_flood_prevention.py",
+    "B1": "bench_condor_comparison.py",
+    "S1": "bench_network_sweep.py",
+    "S2": "bench_assignment_caching.py",
+}
+
+
+def _find_dir(name: str) -> Optional[pathlib.Path]:
+    candidate = _REPO_ROOT / name
+    if candidate.is_dir():
+        return candidate
+    cwd_candidate = pathlib.Path.cwd() / name
+    if cwd_candidate.is_dir():
+        return cwd_candidate
+    return None
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    from . import __version__
+    from .config import ClusterParams
+    from .kernel import APPENDIX_A, classes_of
+
+    print(f"repro {__version__} — Sprite process migration reproduction")
+    print("\ncalibration (ClusterParams defaults):")
+    params = ClusterParams()
+    for field in fields(params):
+        if field.name == "extras":
+            continue
+        print(f"  {field.name:28} = {getattr(params, field.name)}")
+    print(f"\nAppendix A: {len(APPENDIX_A)} kernel calls classified:")
+    for klass, count in sorted(classes_of().items()):
+        print(f"  {klass:16} {count}")
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("demos:        " + " ".join(sorted(DEMOS)))
+    print("experiments:  " + " ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    examples = _find_dir("examples")
+    if examples is None:
+        print("error: examples/ not found (run from a source checkout)",
+              file=sys.stderr)
+        return 2
+    script = examples / DEMOS[args.name]
+    print(f"running {script}\n")
+    runpy.run_path(str(script), run_name="__main__")
+    return 0
+
+
+def cmd_report(_args: argparse.Namespace) -> int:
+    from .report import collect_report
+
+    benchmarks = _find_dir("benchmarks")
+    if benchmarks is None:
+        print("error: benchmarks/ not found (run from a source checkout)",
+              file=sys.stderr)
+        return 2
+    results = benchmarks / "results"
+    if not results.is_dir():
+        print("error: no benchmarks/results — run "
+              "`pytest benchmarks/ --benchmark-only` first", file=sys.stderr)
+        return 2
+    output = benchmarks.parent / "REPRODUCTION_REPORT.md"
+    collect_report(results, output=output)
+    print(f"wrote {output}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    benchmarks = _find_dir("benchmarks")
+    if benchmarks is None:
+        print("error: benchmarks/ not found (run from a source checkout)",
+              file=sys.stderr)
+        return 2
+    target = benchmarks / EXPERIMENTS[args.id]
+    command = [
+        sys.executable, "-m", "pytest", str(target),
+        "--benchmark-only", "-q", "-s",
+    ]
+    print(f"running {' '.join(command)}\n")
+    return subprocess.call(command, cwd=str(benchmarks.parent))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Sprite process-migration reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="calibration + Appendix A summary")
+    sub.add_parser("list", help="available demos and experiments")
+    demo = sub.add_parser("demo", help="run an example scenario")
+    demo.add_argument("name", choices=sorted(DEMOS))
+    experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    sub.add_parser("report", help="stitch benchmark artifacts into one report")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "list": cmd_list,
+        "demo": cmd_demo,
+        "experiment": cmd_experiment,
+        "report": cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

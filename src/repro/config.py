@@ -1,0 +1,127 @@
+"""Cluster-wide calibration parameters.
+
+One :class:`ClusterParams` instance flows to every subsystem so that an
+experiment can re-run the whole stack with, say, a faster network or a
+larger page size.  Defaults are calibrated to the hardware of the
+thesis's evaluation (Sun-3-class workstations on 10 Mb/s Ethernet):
+
+* null kernel-to-kernel RPC round trip ≈ 1.9 ms,
+* bulk network throughput ≈ 820 KB/s,
+* 8 KB virtual-memory pages, 4 KB file-system blocks,
+* local trivial kernel call ≈ 0.1 ms.
+
+Absolute numbers in this reproduction are *model* numbers; what must
+match the paper is their relationships (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+KB = 1024
+MB = 1024 * 1024
+MS = 1e-3
+US = 1e-6
+
+__all__ = ["ClusterParams", "KB", "MB", "MS", "US"]
+
+
+@dataclass
+class ClusterParams:
+    """Knobs for the simulated Sprite cluster."""
+
+    # --- network ------------------------------------------------------
+    #: One-way wire/controller latency per message (seconds).
+    net_latency: float = 0.15 * MS
+    #: Effective payload bandwidth of the shared Ethernet (bytes/second).
+    net_bandwidth: float = 820 * KB
+    #: Whether concurrent transfers contend for the shared medium.
+    net_shared_medium: bool = True
+
+    # --- RPC ----------------------------------------------------------
+    #: CPU consumed on each end per RPC (marshalling, kernel dispatch).
+    rpc_cpu_overhead: float = 0.7 * MS
+    #: Client-side timeout before an RPC is considered lost.
+    rpc_timeout: float = 5.0
+    #: Retries before giving up on an unreachable host.
+    rpc_retries: int = 2
+
+    # --- CPU / kernel ---------------------------------------------------
+    #: Relative CPU speed of every host (1.0 = Sun-3 class).
+    cpu_speed: float = 1.0
+    #: Scheduler quantum (seconds).
+    cpu_quantum: float = 10 * MS
+    #: CPU cost of a trivial local kernel call (e.g. getpid).
+    kernel_call_cpu: float = 0.1 * MS
+    #: CPU cost of fork bookkeeping (excluding VM copy charges).
+    fork_cpu: float = 2.0 * MS
+    #: CPU cost of exec bookkeeping (excluding image load).
+    exec_cpu: float = 3.0 * MS
+    #: Load-average sampling period and decay constant (seconds).
+    load_sample_period: float = 1.0
+    load_decay: float = 60.0
+
+    # --- memory ---------------------------------------------------------
+    #: Virtual-memory page size (bytes).  Sun-3 Sprite used 8 KB pages.
+    page_size: int = 8 * KB
+    #: CPU cost to prepare/install one page during a transfer.
+    page_handling_cpu: float = 0.1 * MS
+
+    # --- file system ----------------------------------------------------
+    #: File-system block size (bytes).
+    fs_block_size: int = 4 * KB
+    #: Server CPU per open/close/lookup RPC beyond the generic RPC cost.
+    fs_name_lookup_cpu: float = 1.2 * MS
+    #: Server CPU per block read/write it serves.
+    fs_block_cpu: float = 0.25 * MS
+    #: Client CPU per block moved through its own cache.
+    client_block_cpu: float = 0.1 * MS
+    #: Server disk throughput (bytes/second) and per-op latency.
+    disk_bandwidth: float = 1.0 * MB
+    disk_latency: float = 15.0 * MS
+    #: Fraction of reads absorbed by the server's own block cache.
+    server_cache_hit_rate: float = 0.8
+    #: Client cache capacity in blocks and the delayed-write-back period
+    #: (Sprite wrote dirty blocks back after 30 seconds).
+    client_cache_blocks: int = 4096
+    writeback_period: float = 30.0
+
+    # --- migration ------------------------------------------------------
+    #: Kernel CPU to package/install the process control block and other
+    #: non-VM, non-file state at each end of a migration.
+    migration_state_cpu: float = 25.0 * MS
+    #: Bytes of machine-independent process state shipped per migration.
+    migration_state_bytes: int = 4 * KB
+    #: Extra state bytes and CPU per open stream transferred.
+    stream_transfer_bytes: int = 512
+    stream_transfer_cpu: float = 2.0 * MS
+    #: Protocol version advertised by each kernel; mismatched kernels
+    #: refuse to migrate (thesis §4.5).
+    migration_version: int = 9
+
+    # --- load sharing -----------------------------------------------------
+    #: A host counts as idle when its load average is below this and no
+    #: user input arrived within ``idle_input_threshold`` seconds.
+    idle_load_threshold: float = 0.3
+    idle_input_threshold: float = 30.0
+    #: How often hosts re-evaluate/announce their availability.
+    availability_period: float = 5.0
+    #: Pause before a reclaimed host's foreign processes must be gone.
+    eviction_grace: float = 1.0
+
+    # --- bookkeeping ------------------------------------------------------
+    seed: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def clone(self, **overrides: Any) -> "ClusterParams":
+        """Return a copy with some fields replaced."""
+        return replace(self, **overrides)
+
+    def pages(self, nbytes: int) -> int:
+        """Number of VM pages covering ``nbytes``."""
+        return max(0, -(-int(nbytes) // self.page_size))
+
+    def blocks(self, nbytes: int) -> int:
+        """Number of FS blocks covering ``nbytes``."""
+        return max(0, -(-int(nbytes) // self.fs_block_size))

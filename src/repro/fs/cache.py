@@ -1,0 +1,145 @@
+"""Client block cache with delayed write-back.
+
+Sprite clients cache file blocks in main memory and write dirty blocks
+back ~30 seconds after they are written [NWO88].  The cache tracks
+(path, block) entries tagged with the file version; stale versions are
+dropped at open time.  Eviction is LRU; evicting a dirty block forces a
+write-back, which the owner (FsClient) performs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["BlockCache", "CacheBlock"]
+
+BlockKey = Tuple[str, int]  # (path, block index)
+
+
+@dataclass
+class CacheBlock:
+    path: str
+    index: int
+    version: int
+    dirty: bool = False
+    dirty_since: float = 0.0
+
+
+class BlockCache:
+    """An LRU cache of file blocks for one client kernel."""
+
+    def __init__(self, capacity_blocks: int, block_size: int):
+        if capacity_blocks < 1:
+            raise ValueError("cache needs at least one block")
+        self.capacity = capacity_blocks
+        self.block_size = block_size
+        self._blocks: "OrderedDict[BlockKey, CacheBlock]" = OrderedDict()
+        # Metrics.
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def dirty_blocks(self, path: Optional[str] = None) -> List[CacheBlock]:
+        return [
+            b
+            for b in self._blocks.values()
+            if b.dirty and (path is None or b.path == path)
+        ]
+
+    def dirty_bytes(self, path: Optional[str] = None) -> int:
+        return len(self.dirty_blocks(path)) * self.block_size
+
+    # ------------------------------------------------------------------
+    def lookup_range(
+        self, path: str, version: int, offset: int, nbytes: int
+    ) -> Tuple[int, int]:
+        """Count cache hits/misses over a byte range.
+
+        Returns ``(hit_blocks, miss_blocks)`` and touches hit blocks for
+        LRU recency.  Blocks cached under an older version count as
+        misses (they will be overwritten on install).
+        """
+        first = offset // self.block_size
+        last = (offset + max(nbytes, 1) - 1) // self.block_size
+        hit = 0
+        miss = 0
+        for index in range(first, last + 1):
+            block = self._blocks.get((path, index))
+            if block is not None and block.version == version:
+                self._blocks.move_to_end((path, index))
+                hit += 1
+            else:
+                miss += 1
+        self.hits += hit
+        self.misses += miss
+        return hit, miss
+
+    def install_range(
+        self,
+        path: str,
+        version: int,
+        offset: int,
+        nbytes: int,
+        dirty: bool,
+        now: float,
+    ) -> List[CacheBlock]:
+        """Insert (or overwrite) the blocks covering a byte range.
+
+        Returns dirty blocks evicted to make room — the caller must
+        write those back to their server.
+        """
+        first = offset // self.block_size
+        last = (offset + max(nbytes, 1) - 1) // self.block_size
+        evicted: List[CacheBlock] = []
+        for index in range(first, last + 1):
+            key = (path, index)
+            block = self._blocks.get(key)
+            if block is None:
+                block = CacheBlock(path=path, index=index, version=version)
+                self._blocks[key] = block
+            else:
+                block.version = version
+                self._blocks.move_to_end(key)
+            if dirty:
+                if not block.dirty:
+                    block.dirty_since = now
+                block.dirty = True
+        while len(self._blocks) > self.capacity:
+            _key, victim = self._blocks.popitem(last=False)
+            if victim.dirty:
+                evicted.append(victim)
+        return evicted
+
+    # ------------------------------------------------------------------
+    def clean(self, blocks: Iterable[CacheBlock]) -> None:
+        """Mark blocks clean after a successful write-back."""
+        for block in blocks:
+            block.dirty = False
+
+    def drop_file(self, path: str) -> int:
+        """Remove every block of ``path`` (after invalidate); returns count."""
+        keys = [k for k in self._blocks if k[0] == path]
+        for key in keys:
+            del self._blocks[key]
+        return len(keys)
+
+    def take_dirty(self, path: str) -> List[CacheBlock]:
+        """Return and clean all dirty blocks of ``path`` (flush)."""
+        dirty = self.dirty_blocks(path)
+        self.clean(dirty)
+        return dirty
+
+    def aged_dirty(self, now: float, max_age: float) -> Dict[str, List[CacheBlock]]:
+        """Dirty blocks older than ``max_age``, grouped by path."""
+        by_path: Dict[str, List[CacheBlock]] = {}
+        for block in self._blocks.values():
+            if block.dirty and now - block.dirty_since >= max_age:
+                by_path.setdefault(block.path, []).append(block)
+        return by_path
+
+    def cached_paths(self) -> List[str]:
+        return sorted({path for path, _ in self._blocks})

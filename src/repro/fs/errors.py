@@ -1,0 +1,27 @@
+"""File-system error types (mirroring Sprite/UNIX error returns)."""
+
+from __future__ import annotations
+
+
+class FsError(Exception):
+    """Base class for file-system errors."""
+
+
+class FileNotFound(FsError):
+    """No such file or directory."""
+
+
+class FileExists(FsError):
+    """Exclusive create of an existing path."""
+
+
+class BadStream(FsError):
+    """Operation on a closed or invalid stream."""
+
+
+class AccessError(FsError):
+    """Operation not permitted by the stream's open mode."""
+
+
+class NotPseudoDevice(FsError):
+    """Pseudo-device operation on a regular file."""

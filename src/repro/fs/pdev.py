@@ -1,0 +1,133 @@
+"""Pseudo-devices: user-level services behind file names [WO88].
+
+A pseudo-device is a file whose I/O is served by an ordinary user
+process (the *master*).  Clients open the name like any file and issue
+request/response operations; the kernel routes them to the master's
+host.  Because only the operating system knows where the endpoints are,
+a *client* of a pseudo-device can migrate freely — its requests simply
+originate from the new host.  This is how Sprite's Internet protocol
+server [Che87] and the migration daemon's host-selection protocol work.
+
+Host side: one :class:`PdevRegistry` per host demultiplexes the
+``pdev.*`` RPC services to the masters living there.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional
+
+from ..config import ClusterParams
+from ..net import Reply, RpcPort
+from ..sim import Channel, Cpu, Effect, SimEvent, Simulator
+from .errors import NotPseudoDevice
+from .protocol import PdevRequest
+
+__all__ = ["PdevRegistry", "PdevMaster", "IncomingRequest"]
+
+
+@dataclass
+class IncomingRequest:
+    """One client request as seen by the master process."""
+
+    connection_id: int
+    client_host: int
+    message: Any
+    _reply: SimEvent = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def respond(self, value: Any, size: int = 256) -> None:
+        """Complete the request; the kernel ships ``value`` back."""
+        self._reply.trigger(Reply(result=value, size=size))
+
+    def fail(self, exc: Exception) -> None:
+        self._reply.fail(exc)
+
+
+class PdevMaster:
+    """The master (server) end of one pseudo-device."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.pdev_id: int = -1
+        self.host: int = -1
+        #: Master processes consume requests from here.
+        self.requests = Channel(sim, name=f"pdev:{name}")
+        self.connections: Dict[int, int] = {}  # conn_id -> client host
+        self._conn_ids = itertools.count(1)
+        self.requests_served = 0
+
+    def next_request(self) -> Effect:
+        """Effect yielding the next :class:`IncomingRequest`."""
+        return self.requests.get()
+
+
+class PdevRegistry:
+    """Per-host demultiplexer for pseudo-device RPCs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rpc: RpcPort,
+        cpu: Cpu,
+        params: Optional[ClusterParams] = None,
+    ):
+        self.sim = sim
+        self.rpc = rpc
+        self.cpu = cpu
+        self.params = params or rpc.params
+        self.masters: Dict[int, PdevMaster] = {}
+        self._ids = itertools.count(1)
+        rpc.register("pdev.connect", self._rpc_connect)
+        rpc.register("pdev.disconnect", self._rpc_disconnect)
+        rpc.register("pdev.request", self._rpc_request)
+
+    def attach(self, master: PdevMaster) -> int:
+        """Give a master a local id; returns the id used on the wire."""
+        master.pdev_id = next(self._ids)
+        master.host = self.rpc.node.address
+        self.masters[master.pdev_id] = master
+        return master.pdev_id
+
+    def detach(self, master: PdevMaster) -> None:
+        self.masters.pop(master.pdev_id, None)
+        master.requests.close()
+
+    def _master(self, pdev_id: int) -> PdevMaster:
+        master = self.masters.get(pdev_id)
+        if master is None:
+            raise NotPseudoDevice(f"no pdev {pdev_id} on host {self.rpc.node.name}")
+        return master
+
+    # ------------------------------------------------------------------
+    def _rpc_connect(self, args: Any) -> Generator[Effect, None, int]:
+        pdev_id, client_host = args
+        master = self._master(pdev_id)
+        yield from self.cpu.consume(self.params.kernel_call_cpu)
+        conn_id = next(master._conn_ids)
+        master.connections[conn_id] = client_host
+        return conn_id
+
+    def _rpc_disconnect(self, args: Any) -> Generator[Effect, None, None]:
+        pdev_id, conn_id = args
+        master = self.masters.get(pdev_id)
+        yield from self.cpu.consume(self.params.kernel_call_cpu)
+        if master is not None:
+            master.connections.pop(conn_id, None)
+        return None
+
+    def _rpc_request(self, request: PdevRequest) -> Generator[Effect, None, Reply]:
+        """Queue the request for the master and wait for its response."""
+        master = self._master(request.pdev_id)
+        reply_event = SimEvent(self.sim, name=f"pdev-reply:{master.name}")
+        incoming = IncomingRequest(
+            connection_id=request.connection_id,
+            client_host=master.connections.get(request.connection_id, -1),
+            message=request.message,
+            _reply=reply_event,
+        )
+        yield master.requests.put(incoming)
+        master.requests_served += 1
+        reply = yield reply_event.wait()
+        return reply

@@ -1,0 +1,11 @@
+"""The Internet protocol server and socket interface [Che87].
+
+Sockets are proxied through a user-level server behind the ``/dev/net``
+pseudo-device, so socket IPC is transparent to migration: endpoints can
+move hosts mid-conversation and their connections follow.
+"""
+
+from .api import Sockets
+from .server import NET_PDEV_PATH, InternetServer, SocketError
+
+__all__ = ["InternetServer", "NET_PDEV_PATH", "SocketError", "Sockets"]

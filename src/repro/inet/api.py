@@ -1,0 +1,92 @@
+"""Process-side socket interface (the 4.3BSD socket calls).
+
+A thin layer over the ``/dev/net`` pseudo-device: every call is one
+pdev request to the Internet server.  Because the pdev stream rides in
+the process's file table, sockets survive migration with no special
+handling — the very point of [Che87]'s design for the thesis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from ..fs import OpenMode
+from ..kernel import UserContext
+from ..sim import Effect
+from .server import NET_PDEV_PATH
+
+__all__ = ["Sockets"]
+
+
+class Sockets:
+    """Socket operations for one process (``Sockets(proc)``)."""
+
+    def __init__(self, proc: UserContext):
+        self.proc = proc
+        self._net_fd: Optional[int] = None
+
+    def _request(
+        self, message: Dict, size: int = 128, reply_size: int = 128
+    ) -> Generator[Effect, None, object]:
+        if self._net_fd is None:
+            self._net_fd = yield from self.proc.open(
+                NET_PDEV_PATH, OpenMode.READ_WRITE
+            )
+        return (
+            yield from self.proc.pdev_request(
+                self._net_fd, message, size=size, reply_size=reply_size
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def socket(self, kind: str = "stream") -> Generator[Effect, None, int]:
+        """Create a socket ("stream" ~ TCP, "dgram" ~ UDP)."""
+        return (yield from self._request({"op": "socket", "kind": kind}))
+
+    def bind(self, sock: int, port: int) -> Generator[Effect, None, int]:
+        return (yield from self._request({"op": "bind", "sock": sock, "port": port}))
+
+    def listen(self, sock: int) -> Generator[Effect, None, None]:
+        yield from self._request({"op": "listen", "sock": sock})
+
+    def connect(self, sock: int, port: int) -> Generator[Effect, None, None]:
+        yield from self._request({"op": "connect", "sock": sock, "port": port})
+
+    def accept(self, sock: int) -> Generator[Effect, None, int]:
+        """Block until a connection arrives; returns its socket id."""
+        return (yield from self._request({"op": "accept", "sock": sock}))
+
+    def send(self, sock: int, nbytes: int) -> Generator[Effect, None, int]:
+        """Send on a connected stream (data crosses to the IP server)."""
+        return (
+            yield from self._request(
+                {"op": "send", "sock": sock, "nbytes": nbytes}, size=nbytes
+            )
+        )
+
+    def recv(self, sock: int, nbytes: int) -> Generator[Effect, None, int]:
+        """Blocking receive; 0 = peer closed (data comes from the server)."""
+        return (
+            yield from self._request(
+                {"op": "recv", "sock": sock, "nbytes": nbytes},
+                reply_size=nbytes,
+            )
+        )
+
+    def sendto(self, sock: int, port: int, nbytes: int) -> Generator[Effect, None, int]:
+        return (
+            yield from self._request(
+                {"op": "sendto", "sock": sock, "port": port, "nbytes": nbytes},
+                size=nbytes,
+            )
+        )
+
+    def recvfrom(self, sock: int) -> Generator[Effect, None, Tuple[int, int]]:
+        """Blocking datagram receive; returns (source_port, nbytes)."""
+        reply = yield from self._request(
+            {"op": "recvfrom", "sock": sock}, reply_size=4096
+        )
+        return reply["from"], reply["nbytes"]
+
+    def close(self, sock: int) -> Generator[Effect, None, None]:
+        yield from self._request({"op": "close", "sock": sock})

@@ -1,0 +1,47 @@
+"""The per-host model kernel: processes, kernel calls, signals, hosts.
+
+Programs are generator functions receiving a :class:`UserContext`;
+kernels cooperate via RPC for everything the thesis routes through a
+process's home machine (pid allocation, exits, waits, location-
+dependent calls, signal routing).
+"""
+
+from . import signals
+from .appendix_a import APPENDIX_A, classes_of
+from .host import Host
+from .kernel import (
+    PID_STRIDE,
+    NoSuchProcess,
+    ProcessKilled,
+    SpriteKernel,
+    home_of_pid,
+)
+from .loadavg import LoadAverage
+from .pcb import ExitStatus, MigrationTicket, Pcb, ProcState, Vm
+from .process import ExitProcess, Program, UserContext
+from .syscalls import CALL_TABLE, CallClass, call_class, forward_all_table
+
+__all__ = [
+    "APPENDIX_A",
+    "CALL_TABLE",
+    "CallClass",
+    "ExitProcess",
+    "ExitStatus",
+    "Host",
+    "LoadAverage",
+    "MigrationTicket",
+    "NoSuchProcess",
+    "PID_STRIDE",
+    "Pcb",
+    "ProcState",
+    "ProcessKilled",
+    "Program",
+    "SpriteKernel",
+    "UserContext",
+    "Vm",
+    "call_class",
+    "classes_of",
+    "forward_all_table",
+    "home_of_pid",
+    "signals",
+]

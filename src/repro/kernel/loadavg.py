@@ -1,0 +1,64 @@
+"""BSD-style exponentially damped load average, sampled per second."""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Optional
+
+from ..config import ClusterParams
+from ..sim import Cpu, Effect, Simulator, Sleep, spawn
+
+__all__ = ["LoadAverage"]
+
+
+class LoadAverage:
+    """Tracks a host's damped runnable-process count.
+
+    The load-sharing layer also *biases* the value when migrations are
+    inbound ("flood prevention", [BSW89]): each expected arrival bumps
+    the load immediately so many clients cannot dogpile one idle host
+    before its measured load catches up.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: Cpu,
+        params: Optional[ClusterParams] = None,
+        start_daemon: bool = True,
+    ):
+        self.sim = sim
+        self.cpu = cpu
+        self.params = params or ClusterParams()
+        self.value = 0.0
+        #: Anticipated near-future arrivals (decays with the same constant).
+        self.bias = 0.0
+        self._alpha = math.exp(
+            -self.params.load_sample_period / self.params.load_decay
+        )
+        if start_daemon:
+            spawn(sim, self._sampler(), name=f"loadavg:{cpu.name}", daemon=True)
+
+    def _sampler(self) -> Generator[Effect, None, None]:
+        period = self.params.load_sample_period
+        while True:
+            yield Sleep(period)
+            self.sample()
+
+    def sample(self) -> float:
+        runnable = self.cpu.runnable
+        self.value = self.value * self._alpha + runnable * (1.0 - self._alpha)
+        self.bias *= self._alpha
+        return self.value
+
+    @property
+    def effective(self) -> float:
+        """Measured load plus the anticipated-migration bias."""
+        return self.value + self.bias
+
+    def anticipate_arrivals(self, count: int = 1) -> None:
+        """Flood prevention: count processes already heading our way."""
+        self.bias += count
+
+    def __repr__(self) -> str:
+        return f"<LoadAverage {self.value:.2f}+{self.bias:.2f}>"

@@ -1,0 +1,31 @@
+"""Minimal UNIX-style signal numbers used by the model kernel."""
+
+from __future__ import annotations
+
+SIGHUP = 1
+SIGINT = 2
+SIGKILL = 9
+SIGUSR1 = 10
+SIGUSR2 = 12
+SIGTERM = 15
+SIGCHLD = 20
+#: Sprite-internal: used by the kernel to request a migration freeze.
+SIGMIGRATE = 30
+
+#: Signals a process cannot catch; delivery always terminates it.
+UNCATCHABLE = frozenset({SIGKILL})
+
+NAMES = {
+    SIGHUP: "SIGHUP",
+    SIGINT: "SIGINT",
+    SIGKILL: "SIGKILL",
+    SIGUSR1: "SIGUSR1",
+    SIGUSR2: "SIGUSR2",
+    SIGTERM: "SIGTERM",
+    SIGCHLD: "SIGCHLD",
+    SIGMIGRATE: "SIGMIGRATE",
+}
+
+
+def name_of(sig: int) -> str:
+    return NAMES.get(sig, f"SIG{sig}")

@@ -1,0 +1,47 @@
+"""Load-sharing policy: host selection, the mig client, availability.
+
+Chapter 6's four host-selection architectures (central server via
+pseudo-device, shared file, MOSIX-style probabilistic gossip, V-style
+multicast) behind one interface, plus the ``mig`` client that launches
+work onto granted hosts with exec-time migration and local fallback.
+"""
+
+from .base import HostSelector, SelectorMetrics, install_accept_hooks
+from .caching import CachingSelector
+from .mig import MigClient, RemoteJob
+from .reexport import ReExporter
+from .migd import (
+    MIGD_PATH,
+    AvailabilityNotifier,
+    CentralizedSelector,
+    MigdServer,
+)
+from .selectors import (
+    LOAD_BOARD_PATH,
+    MulticastSelector,
+    ProbabilisticSelector,
+    SharedFileBoard,
+    SharedFileSelector,
+)
+from .service import ARCHITECTURES, LoadSharingService
+
+__all__ = [
+    "ARCHITECTURES",
+    "AvailabilityNotifier",
+    "CachingSelector",
+    "CentralizedSelector",
+    "HostSelector",
+    "LOAD_BOARD_PATH",
+    "LoadSharingService",
+    "MIGD_PATH",
+    "MigClient",
+    "MigdServer",
+    "MulticastSelector",
+    "ProbabilisticSelector",
+    "ReExporter",
+    "RemoteJob",
+    "SelectorMetrics",
+    "SharedFileBoard",
+    "SharedFileSelector",
+    "install_accept_hooks",
+]

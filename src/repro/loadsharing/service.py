@@ -1,0 +1,113 @@
+"""Cluster-wide load-sharing installation.
+
+One call wires a :class:`~repro.cluster.SpriteCluster` with a chosen
+host-selection architecture, acceptance policies with flood prevention,
+and the per-host daemons the architecture needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cluster import SpriteCluster
+from ..kernel import Host
+from .base import HostSelector, install_accept_hooks
+from .migd import AvailabilityNotifier, CentralizedSelector, MigdServer
+from .mig import MigClient
+from .selectors import (
+    LOAD_BOARD_PATH,
+    MulticastSelector,
+    ProbabilisticSelector,
+    SharedFileBoard,
+    SharedFileSelector,
+)
+
+__all__ = ["LoadSharingService", "ARCHITECTURES"]
+
+ARCHITECTURES = ("centralized", "shared-file", "probabilistic", "multicast")
+
+
+class LoadSharingService:
+    """Everything needed for automatic load sharing on one cluster."""
+
+    def __init__(
+        self,
+        cluster: SpriteCluster,
+        architecture: str = "centralized",
+        migd_host_index: int = 0,
+        max_foreign: Optional[int] = 1,
+        start_daemons: bool = True,
+    ):
+        if architecture not in ARCHITECTURES:
+            raise ValueError(
+                f"unknown architecture {architecture!r}; one of {ARCHITECTURES}"
+            )
+        self.cluster = cluster
+        self.architecture = architecture
+        self.selectors: Dict[int, HostSelector] = {}
+        self.migd: Optional[MigdServer] = None
+        self.notifiers: List[AvailabilityNotifier] = []
+        self.boards: List[SharedFileBoard] = []
+        install_accept_hooks(cluster, max_foreign=max_foreign)
+
+        if architecture == "centralized":
+            self.migd = MigdServer(cluster.hosts[migd_host_index])
+            self.migd.start()
+            for host in cluster.hosts:
+                self.notifiers.append(
+                    AvailabilityNotifier(host, start=start_daemons)
+                )
+                self.selectors[host.address] = CentralizedSelector(host)
+        elif architecture == "shared-file":
+            cluster.add_file(LOAD_BOARD_PATH, payload={})
+            for host in cluster.hosts:
+                self.boards.append(SharedFileBoard(host, start=start_daemons))
+                self.selectors[host.address] = SharedFileSelector(host)
+        elif architecture == "probabilistic":
+            addresses = [host.address for host in cluster.hosts]
+            for host in cluster.hosts:
+                selector = ProbabilisticSelector(host, start_daemon=start_daemons)
+                selector.peers = [a for a in addresses if a != host.address]
+                self.selectors[host.address] = selector
+        else:  # multicast
+            for host in cluster.hosts:
+                self.selectors[host.address] = MulticastSelector(host)
+
+    # ------------------------------------------------------------------
+    def selector_for(self, host: Host) -> HostSelector:
+        return self.selectors[host.address]
+
+    def mig_client(self, host: Host) -> MigClient:
+        return MigClient(self.selector_for(host))
+
+    # ------------------------------------------------------------------
+    # Facility-wide metrics (benchmark E7 reads these)
+    # ------------------------------------------------------------------
+    def total_requests(self) -> int:
+        return sum(s.metrics.requests for s in self.selectors.values())
+
+    def total_conflicts(self) -> int:
+        return sum(s.metrics.conflicts for s in self.selectors.values())
+
+    def mean_request_latency(self) -> float:
+        samples = [
+            latency
+            for selector in self.selectors.values()
+            for latency in selector.metrics.latencies
+        ]
+        return sum(samples) / len(samples) if samples else 0.0
+
+    def control_messages(self) -> int:
+        """Messages the facility itself put on the wire (approximate:
+        counted from daemon/server instrumentation per architecture)."""
+        if self.architecture == "centralized" and self.migd is not None:
+            return self.migd.updates_received + self.migd.requests_served
+        if self.architecture == "probabilistic":
+            return sum(
+                getattr(s, "gossip_messages", 0) for s in self.selectors.values()
+            )
+        if self.architecture == "multicast":
+            return self.total_requests() + sum(
+                getattr(s, "queries_answered", 0) for s in self.selectors.values()
+            )
+        return self.total_requests()

@@ -1,0 +1,6 @@
+"""Result formatting and measurement helpers shared by benchmarks."""
+
+from .histogram import LatencyHistogram
+from .tables import Series, Table
+
+__all__ = ["LatencyHistogram", "Series", "Table"]

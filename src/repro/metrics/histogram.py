@@ -1,0 +1,90 @@
+"""Latency histograms with percentile summaries.
+
+A compact, allocation-light accumulator for the latency samples the
+selectors, migrations, and benchmarks collect.  Buckets are geometric
+(covering microseconds to hours), so percentiles are approximate within
+one bucket width — plenty for shape comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+__all__ = ["LatencyHistogram"]
+
+
+class LatencyHistogram:
+    """Geometric-bucket histogram over positive durations (seconds)."""
+
+    def __init__(self, min_value: float = 1e-6, factor: float = 1.5):
+        if min_value <= 0 or factor <= 1:
+            raise ValueError("need min_value > 0 and factor > 1")
+        self.min_value = min_value
+        self.factor = factor
+        self._counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    # ------------------------------------------------------------------
+    def _bucket(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        return 1 + int(math.log(value / self.min_value) / math.log(self.factor))
+
+    def _bucket_upper(self, index: int) -> float:
+        return self.min_value * (self.factor ** index)
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative duration: {value}")
+        index = self._bucket(value)
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        self.max_value = max(self.max_value, value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (0 < q <= 100)."""
+        if not 0 < q <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(self.count * q / 100.0)
+        seen = 0
+        for index in sorted(self._counts):
+            seen += self._counts[index]
+            if seen >= target:
+                return min(self._bucket_upper(index), self.max_value)
+        return self.max_value
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max_value,
+        }
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """In-place merge (buckets must match)."""
+        if (other.min_value, other.factor) != (self.min_value, self.factor):
+            raise ValueError("cannot merge histograms with different buckets")
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self.count += other.count
+        self.total += other.total
+        self.max_value = max(self.max_value, other.max_value)
+        return self

@@ -1,0 +1,41 @@
+"""Transparent process migration — the paper's primary contribution.
+
+:mod:`.mechanism` implements the transfer protocol (negotiation with
+version numbers, safe-point freezing, per-module state packaging, open-
+stream hand-off, home-shadow maintenance).  :mod:`.vm` provides the four
+virtual-memory transfer policies of §4.2.1.  :mod:`.eviction` reclaims
+workstations for returning users.  :mod:`.stats` aggregates telemetry.
+"""
+
+from .eviction import EvictionDaemon, EvictionEvent
+from .mechanism import MigrationManager, MigrationRecord, MigrationRefused
+from .stats import collect_records, records_by_reason, summarize_records
+from .vm import (
+    POLICIES,
+    CopyOnReference,
+    FlushToServer,
+    FullCopy,
+    PreCopy,
+    VmOutcome,
+    VmPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "CopyOnReference",
+    "EvictionDaemon",
+    "EvictionEvent",
+    "FlushToServer",
+    "FullCopy",
+    "MigrationManager",
+    "MigrationRecord",
+    "MigrationRefused",
+    "POLICIES",
+    "PreCopy",
+    "VmOutcome",
+    "VmPolicy",
+    "collect_records",
+    "make_policy",
+    "records_by_reason",
+    "summarize_records",
+]

@@ -1,0 +1,454 @@
+"""The process-migration mechanism (thesis ch. 4).
+
+One :class:`MigrationManager` per host.  A migration runs the protocol
+the thesis describes, module by module:
+
+1. **Negotiate** with the target kernel: migration *version numbers*
+   must match (§4.5 — mismatched kernels refuse, the fix for migration's
+   fragility), and the target's acceptance policy must agree.
+2. **Freeze** the process at a safe point (between compute quanta or at
+   kernel-call boundaries; in-flight kernel calls drain first).
+3. **Transfer virtual memory** per the configured policy
+   (:mod:`repro.migration.vm` — Sprite's default flushes dirty pages to
+   the backing file on the server).
+4. **Package and ship kernel state**: the machine-independent PCB,
+   signal state, and exec arguments, then each open stream via the file
+   system's export/import protocol (flush + I/O-server hand-off, ch. 5).
+5. **Install** on the target, update the home's shadow PCB, and resume.
+   The source keeps *no* residual state (unless copy-on-reference was
+   chosen, which is exactly its documented drawback).
+
+Exec-time migration (:meth:`MigrationManager.migrate_for_exec`) skips
+step 3 entirely — the address space is about to be replaced — which is
+why Sprite migrates at exec whenever it can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Union
+
+from ..config import ClusterParams
+from ..kernel import Host, MigrationTicket, Pcb, ProcState, SpriteKernel
+from ..net import Reply, RpcError
+from ..sim import Effect, SimEvent, Tracer
+from .vm import FlushToServer, VmOutcome, VmPolicy, make_policy
+
+__all__ = ["MigrationManager", "MigrationRecord", "MigrationRefused"]
+
+
+class MigrationRefused(RpcError):
+    """The target kernel declined the migration (version/policy)."""
+
+
+@dataclass
+class MigrationRecord:
+    """Telemetry for one completed (or refused) migration."""
+
+    pid: int
+    name: str
+    source: int
+    target: int
+    reason: str
+    policy: str
+    started: float
+    ended: float = 0.0
+    freeze_started: float = 0.0
+    freeze_ended: float = 0.0
+    vm: Optional[VmOutcome] = None
+    streams_moved: int = 0
+    stream_bytes: int = 0
+    state_bytes: int = 0
+    refused: bool = False
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        return self.ended - self.started
+
+    @property
+    def freeze_time(self) -> float:
+        return self.freeze_ended - self.freeze_started
+
+
+#: Signature of a target-side acceptance policy (load sharing installs
+#: one that refuses when the host is no longer idle).
+AcceptHook = Callable[[Dict[str, Any]], bool]
+
+
+class MigrationManager:
+    """Per-host migration engine; also the target-side RPC services."""
+
+    def __init__(
+        self,
+        host: Host,
+        managers: Dict[int, "MigrationManager"],
+        policy: Union[str, VmPolicy, None] = None,
+        accept_hook: Optional[AcceptHook] = None,
+    ):
+        self.host = host
+        self.kernel: SpriteKernel = host.kernel
+        self.kernel.migration = self
+        if policy is None:
+            policy = FlushToServer()
+        elif isinstance(policy, str):
+            policy = make_policy(policy)
+        self.policy: VmPolicy = policy
+        self.accept_hook = accept_hook
+        self.records: List[MigrationRecord] = []
+        #: Accept timestamps of migrations not yet installed; acceptance
+        #: policies count these against guest caps (flood prevention,
+        #: [BSW89]).  Entries expire so an aborted transfer cannot leak
+        #: a permanent reservation.
+        self._pending_accepts: List[float] = []
+        #: How long an accepted-but-uninstalled reservation is honoured.
+        self.pending_accept_ttl = 30.0
+        self._managers = managers
+        managers[host.address] = self
+        self.host.rpc.register("mig.negotiate", self._rpc_negotiate)
+        self.host.rpc.register("mig.install", self._rpc_install)
+        self.host.rpc.register("mig.update_location", self._rpc_update_location)
+        self.host.rpc.register("mig.cor_fetch", self._rpc_cor_fetch)
+
+    # ------------------------------------------------------------------
+    @property
+    def sim(self):
+        return self.host.sim
+
+    @property
+    def lan(self):
+        return self.host.lan
+
+    @property
+    def params(self) -> ClusterParams:
+        return self.host.params
+
+    @property
+    def address(self) -> int:
+        return self.host.address
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.host.tracer
+
+    def remote_page_install(self, target: int, nbytes: int) -> Generator[Effect, None, None]:
+        """Charge the target's CPU for receiving/installing pages.
+
+        Wire time is charged separately by the caller; this models the
+        destination kernel's copy/map work during a VM transfer.
+        """
+        peer = self._managers[target]
+        yield from peer.host.cpu.consume(
+            self.params.page_handling_cpu * self.params.pages(nbytes)
+        )
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def migrate(
+        self, pcb: Pcb, target: int, reason: str = "manual"
+    ) -> Generator[Effect, None, MigrationRecord]:
+        """Migrate a (possibly running) process; called from any task
+        on the process's current host — eviction daemons, migd, tests."""
+        self._check_eligible(pcb, target)
+        ticket = MigrationTicket(
+            target=target,
+            reason=reason,
+            parked=SimEvent(self.sim, f"parked:{pcb.pid}"),
+            resume=SimEvent(self.sim, f"resume:{pcb.pid}"),
+        )
+        record = self._new_record(pcb, target, reason)
+        # Negotiate and pre-copy while the process keeps running.
+        yield from self._negotiate(pcb, target, record)
+        pre_bytes = yield from self.policy.pre_freeze(self, pcb, target)
+        record.detail["pre_freeze_bytes"] = pre_bytes
+        # Ask the process to park at its next safe point.
+        pcb.migration_ticket = ticket
+        if pcb.task is not None and pcb.interruptible:
+            pcb.task.interrupt(("migrate", target))
+        from ..sim import first
+
+        index, _value = yield first(ticket.parked.wait(), pcb.exit_event.wait())
+        if index == 1:
+            # The process exited before reaching a safe point.
+            pcb.migration_ticket = None
+            record.refused = True
+            record.ended = self.sim.now
+            record.detail["refusal"] = "process exited before freeze"
+            self.records.append(record)
+            raise MigrationRefused(
+                f"pid {pcb.pid} exited before it could be migrated"
+            )
+        record.freeze_started = self.sim.now
+        try:
+            yield from self._frozen_transfer(pcb, target, record, skip_vm=False)
+        finally:
+            # Whatever happened, the process must not stay frozen: on an
+            # abort it resumes right here on the source.
+            record.freeze_ended = self.sim.now
+            pcb.migration_ticket = None
+            ticket.resume.trigger()
+        record.ended = self.sim.now
+        self._finish_record(record)
+        return record
+
+    def migrate_self(
+        self, pcb: Pcb, target: int
+    ) -> Generator[Effect, None, MigrationRecord]:
+        """Migration executed by the process's own task (the migrate
+        kernel call): it is already at a safe point, so the whole
+        transfer is one freeze."""
+        self._check_eligible(pcb, target)
+        record = self._new_record(pcb, target, "self")
+        yield from self._negotiate(pcb, target, record)
+        record.freeze_started = self.sim.now
+        yield from self._frozen_transfer(pcb, target, record, skip_vm=False)
+        record.freeze_ended = self.sim.now
+        record.ended = self.sim.now
+        self._finish_record(record)
+        return record
+
+    def migrate_for_exec(
+        self, pcb: Pcb, target: int, arg_bytes: int = 2048
+    ) -> Generator[Effect, None, MigrationRecord]:
+        """Exec-time migration: no VM moves; args/env ride with the state."""
+        self._check_eligible(pcb, target)
+        record = self._new_record(pcb, target, "exec")
+        record.detail["arg_bytes"] = arg_bytes
+        yield from self._negotiate(pcb, target, record)
+        record.freeze_started = self.sim.now
+        # Discard the old address space outright (exec replaces it).
+        if pcb.vm.backing is not None and pcb.vm.backing.handle_id >= 0:
+            yield from pcb.vm.backing.remove()
+            pcb.vm.backing = None
+        pcb.vm.size = 0
+        pcb.vm.evict_resident()
+        yield from self._frozen_transfer(
+            pcb, target, record, skip_vm=True, extra_bytes=arg_bytes
+        )
+        record.freeze_ended = self.sim.now
+        record.ended = self.sim.now
+        self._finish_record(record)
+        return record
+
+    def evict_all_foreign(self, reason: str = "eviction") -> Generator[Effect, None, List[MigrationRecord]]:
+        """Send every foreign process home (user reclaimed the host)."""
+        victims = self.kernel.foreign_pcbs()
+        records = []
+        for pcb in victims:
+            record = yield from self.migrate(pcb, pcb.home, reason=reason)
+            records.append(record)
+        return records
+
+    # ------------------------------------------------------------------
+    # Protocol steps
+    # ------------------------------------------------------------------
+    def _check_eligible(self, pcb: Pcb, target: int) -> None:
+        if pcb.vm.shared_writable:
+            raise MigrationRefused(
+                f"pid {pcb.pid} uses shared writable memory (not migratable)"
+            )
+        if pcb.state != ProcState.RUNNING or pcb.current != self.address:
+            raise MigrationRefused(
+                f"pid {pcb.pid} is not resident on {self.host.name}"
+            )
+        if target == self.address:
+            raise MigrationRefused("source and target are the same host")
+
+    def _new_record(self, pcb: Pcb, target: int, reason: str) -> MigrationRecord:
+        return MigrationRecord(
+            pid=pcb.pid,
+            name=pcb.name,
+            source=self.address,
+            target=target,
+            reason=reason,
+            policy=self.policy.name,
+            started=self.sim.now,
+        )
+
+    def _negotiate(
+        self, pcb: Pcb, target: int, record: MigrationRecord
+    ) -> Generator[Effect, None, None]:
+        try:
+            answer = yield from self.host.rpc.call(
+                target,
+                "mig.negotiate",
+                {
+                    "version": self.params.migration_version,
+                    "pid": pcb.pid,
+                    "name": pcb.name,
+                    "uid": pcb.uid,
+                    "home": pcb.home,
+                    "reason": record.reason,
+                },
+            )
+        except RpcError as err:
+            # Unreachable target: abort cleanly, process stays put.
+            answer = {"accept": False, "why": f"target unreachable: {err}"}
+        if not answer.get("accept"):
+            record.refused = True
+            record.ended = self.sim.now
+            record.detail["refusal"] = answer.get("why", "unspecified")
+            self.records.append(record)
+            raise MigrationRefused(
+                f"host {target} refused pid {pcb.pid}: {answer.get('why')}"
+            )
+
+    def _frozen_transfer(
+        self,
+        pcb: Pcb,
+        target: int,
+        record: MigrationRecord,
+        skip_vm: bool,
+        extra_bytes: int = 0,
+    ) -> Generator[Effect, None, None]:
+        params = self.params
+        # -- virtual memory -------------------------------------------------
+        if not skip_vm:
+            record.vm = yield from self.policy.during_freeze(self, pcb, target)
+        # -- kernel state packaging (per-module encapsulation, §4.5) ---------
+        yield from self.host.cpu.consume(params.migration_state_cpu)
+        # -- open streams ---------------------------------------------------
+        stream_states = []
+        for fd in sorted(pcb.streams):
+            stream = pcb.streams[fd]
+            state = yield from self.host.fs.export_stream(stream, target)
+            stream_states.append((fd, state))
+        record.streams_moved = len(stream_states)
+        record.stream_bytes = len(stream_states) * params.stream_transfer_bytes
+        record.state_bytes = params.migration_state_bytes + extra_bytes
+        # -- ship the state and install at the target -------------------------
+        payload = {
+            "pcb": pcb,
+            "streams": stream_states,
+            "cpu_time": pcb.cpu_time,
+        }
+        wire_bytes = record.state_bytes + record.stream_bytes
+        try:
+            yield from self.host.rpc.call(
+                target, "mig.install", payload, size=wire_bytes
+            )
+        except RpcError as err:
+            # The target died after accepting (before Sprite's commit
+            # point): abort — pull the stream references back and leave
+            # the process running here, unharmed.
+            yield from self._rollback_streams(pcb, target, stream_states)
+            record.refused = True
+            record.ended = self.sim.now
+            record.detail["refusal"] = f"install failed: {err}"
+            self.records.append(record)
+            raise MigrationRefused(
+                f"target {target} failed during transfer of pid {pcb.pid}: {err}"
+            )
+        # -- detach locally; tell the home where the process went -------------
+        source = self.address
+        self.kernel.detach_pcb(pcb, target)
+        if pcb.home not in (source, target):
+            yield from self.host.rpc.call(
+                pcb.home,
+                "mig.update_location",
+                {"pid": pcb.pid, "current": target},
+            )
+        pcb.migrations += 1
+        self.tracer.emit(
+            self.sim.now,
+            f"mig:{self.host.name}",
+            "migrated",
+            pid=pcb.pid,
+            target=target,
+            reason=record.reason,
+            streams=record.streams_moved,
+        )
+
+    def _rollback_streams(
+        self, pcb: Pcb, target: int, stream_states
+    ) -> Generator[Effect, None, None]:
+        """Return exported stream references to this host after an abort."""
+        from ..fs.protocol import StreamMove
+
+        for fd, _state in stream_states:
+            stream = pcb.streams.get(fd)
+            if stream is None or stream.is_pdev:
+                continue
+            try:
+                yield from self.host.rpc.call(
+                    stream.server,
+                    "fs.stream_move",
+                    StreamMove(
+                        handle_id=stream.handle_id,
+                        stream_id=stream.stream_id,
+                        from_client=target,
+                        to_client=self.address,
+                        offset=stream.offset,
+                        mode=stream.mode,
+                    ),
+                )
+            except RpcError:
+                continue  # server unreachable too; nothing more to do
+
+    def _finish_record(self, record: MigrationRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Target-side services
+    # ------------------------------------------------------------------
+    def _rpc_negotiate(self, args: Dict[str, Any]) -> Generator[Effect, None, Dict[str, Any]]:
+        yield from self.host.cpu.consume(self.params.kernel_call_cpu)
+        if args["version"] != self.params.migration_version:
+            return {
+                "accept": False,
+                "why": (
+                    f"migration version mismatch: theirs {args['version']}, "
+                    f"ours {self.params.migration_version}"
+                ),
+            }
+        # A host always accepts its own processes back (eviction must
+        # never fail); otherwise the acceptance policy decides.
+        if args["home"] != self.address and self.accept_hook is not None:
+            if not self.accept_hook(args):
+                return {"accept": False, "why": "host not accepting foreign work"}
+        return {"accept": True, "version": self.params.migration_version}
+
+    @property
+    def pending_arrivals(self) -> int:
+        """Accepted migrations still in flight (stale entries pruned)."""
+        horizon = self.sim.now - self.pending_accept_ttl
+        self._pending_accepts = [t for t in self._pending_accepts if t > horizon]
+        return len(self._pending_accepts)
+
+    def note_incoming(self) -> None:
+        """Record an acceptance (called by acceptance policies)."""
+        self._pending_accepts.append(self.sim.now)
+
+    def _rpc_install(self, payload: Dict[str, Any]) -> Generator[Effect, None, None]:
+        pcb: Pcb = payload["pcb"]
+        if self._pending_accepts:
+            self._pending_accepts.pop(0)
+        yield from self.host.cpu.consume(self.params.migration_state_cpu)
+        self.kernel.install_pcb(pcb)
+        # Streams: install the exported copies under the original fds.
+        pcb.streams = {}
+        for fd, state in payload["streams"]:
+            stream = yield from self.host.fs.import_stream(state)
+            pcb.streams[fd] = stream
+        # The backing file stays on its server; rebind it to this client.
+        if pcb.vm.backing is not None:
+            pcb.vm.backing = pcb.vm.backing.handoff(self.host.fs)
+        self.tracer.emit(
+            self.sim.now, f"mig:{self.host.name}", "installed", pid=pcb.pid
+        )
+        return None
+
+    def _rpc_update_location(self, args: Dict[str, Any]) -> Generator[Effect, None, None]:
+        yield from self.host.cpu.consume(self.params.kernel_call_cpu)
+        shadow = self.kernel.procs.get(args["pid"])
+        if shadow is not None and shadow.state == ProcState.MIGRATED:
+            shadow.current = args["current"]
+        return None
+
+    def _rpc_cor_fetch(self, nbytes: int) -> Generator[Effect, None, Reply]:
+        """Serve a copy-on-reference page fetch (residual dependency)."""
+        yield from self.host.cpu.consume(
+            self.params.page_handling_cpu * self.params.pages(nbytes)
+        )
+        return Reply(result=nbytes, size=max(1, nbytes))

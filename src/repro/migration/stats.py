@@ -1,0 +1,48 @@
+"""Aggregation helpers over migration telemetry."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from .mechanism import MigrationManager, MigrationRecord
+
+__all__ = ["collect_records", "summarize_records", "records_by_reason"]
+
+
+def collect_records(managers: Iterable[MigrationManager]) -> List[MigrationRecord]:
+    """All records across a cluster, in start-time order."""
+    records: List[MigrationRecord] = []
+    for manager in managers:
+        records.extend(manager.records)
+    records.sort(key=lambda r: r.started)
+    return records
+
+
+def records_by_reason(records: Iterable[MigrationRecord]) -> Dict[str, List[MigrationRecord]]:
+    grouped: Dict[str, List[MigrationRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.reason, []).append(record)
+    return grouped
+
+
+def summarize_records(records: List[MigrationRecord]) -> Dict[str, float]:
+    """Means/percentiles of migration and freeze time (completed only)."""
+    done = [r for r in records if not r.refused]
+    if not done:
+        return {"count": 0, "refused": sum(1 for r in records if r.refused)}
+    totals = np.array([r.total_time for r in done])
+    freezes = np.array([r.freeze_time for r in done])
+    return {
+        "count": len(done),
+        "refused": sum(1 for r in records if r.refused),
+        "mean_total_s": float(totals.mean()),
+        "p95_total_s": float(np.percentile(totals, 95)),
+        "mean_freeze_s": float(freezes.mean()),
+        "p95_freeze_s": float(np.percentile(freezes, 95)),
+        "mean_streams": float(np.mean([r.streams_moved for r in done])),
+        "vm_bytes_total": float(
+            np.sum([r.vm.bytes_total if r.vm else 0 for r in done])
+        ),
+    }

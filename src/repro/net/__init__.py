@@ -1,0 +1,15 @@
+"""Network substrate: shared-medium LAN and kernel-to-kernel RPC."""
+
+from .lan import HostDownError, Lan, NetNode, Packet
+from .rpc import Reply, RpcError, RpcPort, RpcTimeout
+
+__all__ = [
+    "HostDownError",
+    "Lan",
+    "NetNode",
+    "Packet",
+    "Reply",
+    "RpcError",
+    "RpcPort",
+    "RpcTimeout",
+]

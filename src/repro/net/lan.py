@@ -1,0 +1,170 @@
+"""Shared-medium local-area network model.
+
+The thesis's cluster hangs off one 10 Mb/s Ethernet.  The model captures
+the two properties migration cost depends on: a per-message latency and
+a shared transmission medium, so concurrent bulk transfers (VM pages,
+file flushes) slow each other down.
+
+Nodes are registered with the LAN and receive :class:`Packet` objects in
+their inbox channel.  Bulk transfers use :meth:`Lan.transfer`, which
+charges transmission time without materializing per-block packets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from ..config import ClusterParams
+from ..sim import Channel, Effect, Resource, Simulator, Sleep, Tracer
+
+__all__ = ["Packet", "NetNode", "Lan", "HostDownError"]
+
+
+class HostDownError(Exception):
+    """Raised when sending to a node that is marked down."""
+
+
+@dataclass
+class Packet:
+    """One message on the wire."""
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any
+    size: int
+    send_time: float = 0.0
+
+
+class NetNode:
+    """An addressable endpoint on the LAN."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.address: int = -1  # assigned by Lan.register
+        self.inbox = Channel(sim, name=f"{name}.inbox")
+        self.up = True
+        self.lan: Optional["Lan"] = None
+
+    def __repr__(self) -> str:
+        return f"<NetNode {self.name}@{self.address} {'up' if self.up else 'down'}>"
+
+
+class Lan:
+    """The shared network segment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: Optional[ClusterParams] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.params = params or ClusterParams()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.nodes: Dict[int, NetNode] = {}
+        self._addresses = itertools.count(1)
+        self._medium = Resource(sim, capacity=1, name="ethernet")
+        #: Totals for metrics: messages and payload bytes carried.
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    def register(self, node: NetNode) -> int:
+        node.address = next(self._addresses)
+        node.lan = self
+        self.nodes[node.address] = node
+        return node.address
+
+    def node(self, address: int) -> NetNode:
+        return self.nodes[address]
+
+    def transmission_time(self, size: int) -> float:
+        return size / self.params.net_bandwidth
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> Generator[Effect, None, None]:
+        """Transmit one message; delivers into the destination inbox.
+
+        Holds the shared medium for the transmission time (if medium
+        sharing is modelled), then delivers after the propagation
+        latency.  Raises :class:`HostDownError` if the destination is
+        down at delivery time.
+        """
+        dst = self.nodes.get(packet.dst)
+        if dst is None:
+            raise HostDownError(f"no node at address {packet.dst}")
+        packet.send_time = self.sim.now
+        yield from self._occupy_medium(packet.size)
+        yield Sleep(self.params.net_latency)
+        self.messages_sent += 1
+        self.bytes_sent += packet.size
+        if not dst.up:
+            raise HostDownError(f"host {dst.name} is down")
+        self.tracer.emit(
+            self.sim.now,
+            "lan",
+            "deliver",
+            src=packet.src,
+            dst=packet.dst,
+            msg=packet.kind,
+            size=packet.size,
+        )
+        if not dst.inbox.try_put(packet):
+            raise RuntimeError(f"inbox of {dst.name} is bounded and full")
+
+    def transfer(self, src: int, dst: int, nbytes: int) -> Generator[Effect, None, None]:
+        """Charge the wire time of a bulk transfer of ``nbytes``.
+
+        Used for data that is modelled by size only (VM pages, file
+        blocks); no packet object is delivered.
+        """
+        if nbytes <= 0:
+            return
+        dst_node = self.nodes.get(dst)
+        if dst_node is not None and not dst_node.up:
+            raise HostDownError(f"host {dst_node.name} is down")
+        yield from self._occupy_medium(nbytes)
+        yield Sleep(self.params.net_latency)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self.tracer.emit(
+            self.sim.now, "lan", "transfer", src=src, dst=dst, size=nbytes
+        )
+
+    def broadcast(
+        self, packet: Packet, exclude: Optional[List[int]] = None
+    ) -> Generator[Effect, None, None]:
+        """Deliver one message to every up node (cheap on real Ethernet:
+        the medium is held once regardless of receiver count)."""
+        skip = set(exclude or ())
+        skip.add(packet.src)
+        yield from self._occupy_medium(packet.size)
+        yield Sleep(self.params.net_latency)
+        self.messages_sent += 1
+        self.bytes_sent += packet.size
+        packet.send_time = self.sim.now
+        for address, node in sorted(self.nodes.items()):
+            if address in skip or not node.up:
+                continue
+            copy = Packet(packet.src, address, packet.kind, packet.payload, packet.size)
+            copy.send_time = packet.send_time
+            node.inbox.try_put(copy)
+        self.tracer.emit(
+            self.sim.now, "lan", "broadcast", src=packet.src, msg=packet.kind
+        )
+
+    # ------------------------------------------------------------------
+    def _occupy_medium(self, size: int) -> Generator[Effect, None, None]:
+        duration = self.transmission_time(size)
+        if self.params.net_shared_medium:
+            yield from self._medium.hold(duration)
+        else:
+            yield Sleep(duration)
+
+    def utilization(self) -> float:
+        """Fraction of time the medium has been busy."""
+        return self._medium.utilization()

@@ -1,0 +1,225 @@
+"""Sprite-style kernel-to-kernel remote procedure calls [Wel86, BN84].
+
+Each host owns an :class:`RpcPort` bound to its LAN node.  Services are
+registered by name; handlers are generator coroutines executed on the
+*server's* simulator tasks, charging the server's CPU.  The caller's
+``call`` generator blocks until the reply has crossed the wire back.
+
+Failure model: a down destination or a lost reply surfaces as
+:class:`RpcTimeout` after ``params.rpc_retries`` retries.  Exceptions
+raised by the remote handler are re-raised at the caller (this mirrors
+Sprite, where a forwarded kernel call returns the remote error code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..config import ClusterParams
+from ..sim import (
+    TIMED_OUT,
+    ChannelClosed,
+    Cpu,
+    Effect,
+    SimEvent,
+    Simulator,
+    Sleep,
+    Tracer,
+    spawn,
+    with_timeout,
+)
+from .lan import HostDownError, Lan, NetNode, Packet
+
+__all__ = ["RpcPort", "RpcTimeout", "RpcError", "Reply"]
+
+#: Default request/reply payload sizes in bytes (small control messages).
+DEFAULT_REQUEST_SIZE = 256
+DEFAULT_REPLY_SIZE = 128
+
+
+class RpcError(Exception):
+    """Base class for RPC transport errors."""
+
+
+class RpcTimeout(RpcError):
+    """The callee did not answer within the timeout (possibly down)."""
+
+
+@dataclass
+class Reply:
+    """Wrap a handler's return value to control the reply's wire size."""
+
+    result: Any
+    size: int = DEFAULT_REPLY_SIZE
+
+
+@dataclass
+class _Request:
+    service: str
+    args: Any
+    reply_event: SimEvent
+    reply_to: int
+    reply_size_hint: int
+
+
+Handler = Callable[[Any], Generator[Effect, None, Any]]
+
+
+class RpcPort:
+    """One host's RPC endpoint: server dispatch plus client calls."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        lan: Lan,
+        node: NetNode,
+        cpu: Optional[Cpu] = None,
+        params: Optional[ClusterParams] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.lan = lan
+        self.node = node
+        self.cpu = cpu
+        self.params = params or lan.params
+        self.tracer = tracer if tracer is not None else lan.tracer
+        self._services: Dict[str, Handler] = {}
+        #: Receives packets that are not RPC requests (e.g. multicast
+        #: host-selection queries); set by higher layers.
+        self.fallback: Optional[Callable[[Packet], None]] = None
+        #: Metrics.
+        self.calls_made = 0
+        self.calls_served = 0
+        self._server_task = spawn(
+            sim, self._serve(), name=f"rpc-server:{node.name}", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def register(self, service: str, handler: Handler) -> None:
+        """Register ``handler`` for ``service`` (replacing any previous)."""
+        self._services[service] = handler
+
+    def _serve(self) -> Generator[Effect, None, None]:
+        while True:
+            try:
+                packet = yield self.node.inbox.get()
+            except ChannelClosed:
+                return
+            if packet.kind == "rpc-request" and isinstance(packet.payload, _Request):
+                spawn(
+                    self.sim,
+                    self._handle(packet.payload),
+                    name=f"rpc:{packet.payload.service}@{self.node.name}",
+                    daemon=True,
+                )
+            elif self.fallback is not None:
+                self.fallback(packet)
+
+    def _handle(self, request: _Request) -> Generator[Effect, None, None]:
+        handler = self._services.get(request.service)
+        outcome: Any
+        failure: Optional[BaseException] = None
+        if handler is None:
+            failure = RpcError(
+                f"no service {request.service!r} on {self.node.name}"
+            )
+            outcome = None
+        else:
+            if self.cpu is not None:
+                yield from self.cpu.consume(self.params.rpc_cpu_overhead)
+            try:
+                outcome = yield from handler(request.args)
+            except RpcError as err:
+                failure = err
+                outcome = None
+            except Exception as err:  # noqa: BLE001 - remote errors cross the wire
+                failure = err
+                outcome = None
+        self.calls_served += 1
+        reply_size = request.reply_size_hint
+        if isinstance(outcome, Reply):
+            reply_size = outcome.size
+            outcome = outcome.result
+        # Ship the reply back across the wire, then wake the caller.
+        if not self.node.up:
+            return  # server crashed mid-call: the caller will time out.
+        try:
+            yield from self.lan.transfer(
+                self.node.address, request.reply_to, max(reply_size, 1)
+            )
+        except HostDownError:
+            return  # caller went down; nothing to deliver to.
+        if failure is not None:
+            request.reply_event.fail(failure)
+        else:
+            request.reply_event.trigger(outcome)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        dst: int,
+        service: str,
+        args: Any = None,
+        size: int = DEFAULT_REQUEST_SIZE,
+        reply_size: int = DEFAULT_REPLY_SIZE,
+        timeout: Optional[float] = "default",  # type: ignore[assignment]
+    ) -> Generator[Effect, None, Any]:
+        """Invoke ``service`` on the host at address ``dst``.
+
+        Usage: ``result = yield from port.call(dst, "proc.migrate", args)``.
+        Pass ``timeout=None`` for calls that legitimately block without
+        bound (e.g. a forwarded ``wait`` for a child that may run for
+        hours); such calls never retry.
+        """
+        if timeout == "default":
+            timeout = self.params.rpc_timeout
+        attempts = self.params.rpc_retries + 1
+        if self.cpu is not None:
+            yield from self.cpu.consume(self.params.rpc_cpu_overhead)
+        last_error: Optional[BaseException] = None
+        for _attempt in range(attempts):
+            reply_event = SimEvent(self.sim, name=f"reply:{service}")
+            request = _Request(
+                service=service,
+                args=args,
+                reply_event=reply_event,
+                reply_to=self.node.address,
+                reply_size_hint=reply_size,
+            )
+            packet = Packet(
+                src=self.node.address,
+                dst=dst,
+                kind="rpc-request",
+                payload=request,
+                size=size,
+            )
+            self.calls_made += 1
+            self.tracer.emit(
+                self.sim.now, f"rpc:{self.node.name}", "call", dst=dst, service=service
+            )
+            try:
+                yield from self.lan.send(packet)
+            except HostDownError as err:
+                last_error = err
+                # Back off before retrying a dead host — real RPC waits
+                # out its timeout rather than spinning.
+                yield Sleep(timeout if timeout is not None else self.params.rpc_timeout)
+                continue
+            if timeout is None:
+                return (yield reply_event.wait())
+            value = yield from with_timeout(reply_event.wait(), timeout)
+            if value is TIMED_OUT:
+                last_error = RpcTimeout(
+                    f"{service} on host {dst} timed out after {timeout}s"
+                )
+                continue
+            return value
+        raise RpcTimeout(
+            f"{service} on host {dst} unreachable after {attempts} attempt(s): "
+            f"{last_error}"
+        )

@@ -1,0 +1,164 @@
+"""Discrete-event simulation core: the clock and the event queue.
+
+The :class:`Simulator` owns simulated time.  Everything else in the
+library — network transfers, kernel scheduling, file-system delays — is
+expressed as callbacks scheduled at future instants on one simulator.
+
+Design notes
+------------
+
+* Time is a ``float`` in simulated seconds starting at 0.0.
+* Events scheduled for the same instant fire in FIFO order (a strictly
+  increasing sequence number breaks ties), which keeps runs
+  deterministic for a fixed seed.
+* Cancellation is O(1): a cancelled handle stays in the heap but is
+  skipped when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from .errors import SimulationDeadlock
+
+__all__ = ["Simulator", "EventHandle"]
+
+
+class EventHandle:
+    """A cancellable reference to one scheduled callback."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+        # Drop references eagerly so cancelled closures don't pin objects
+        # for the rest of the run.
+        self.fn = _noop
+        self.args = ()
+
+
+def _noop(*_args: Any) -> None:
+    pass
+
+
+class Simulator:
+    """An event-driven clock.
+
+    Typical use goes through :class:`repro.sim.tasks.Task` coroutines
+    rather than raw callbacks, but the callback layer is public for the
+    rare component (e.g. the load-average sampler) that wants it.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._seq = itertools.count()
+        self._running = False
+        #: Exceptions raised by detached tasks; populated by tasks.py and
+        #: re-raised by :meth:`run` so failures never pass silently.
+        self.failures: List[BaseException] = []
+        #: Number of live (unfinished) tasks; maintained by tasks.py so
+        #: that :meth:`run` can detect deadlock.
+        self.live_tasks: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        handle = EventHandle(self.now + delay, fn, args)
+        heapq.heappush(self._heap, (handle.time, next(self._seq), handle))
+        return handle
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at absolute simulated ``time``."""
+        return self.schedule(time - self.now, fn, *args)
+
+    def call_soon(self, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at the current instant, after pending events."""
+        return self.schedule(0.0, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            time, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            handle.fn(*handle.args)
+            self._check_failures()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue, optionally stopping at time ``until``.
+
+        Returns the simulated time at which the run stopped.  Raises
+        :class:`SimulationDeadlock` if live tasks remain when the queue
+        drains before ``until`` (or drains entirely when no ``until``
+        was given and tasks are still blocked).
+        """
+        if self._running:
+            raise RuntimeError("Simulator.run is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                peek_time = self._next_event_time()
+                if until is not None and peek_time is not None and peek_time > until:
+                    self.now = until
+                    return self.now
+                if not self.step():
+                    break
+            if until is not None:
+                self.now = max(self.now, until)
+            elif self.live_tasks > 0:
+                raise SimulationDeadlock(
+                    f"event queue drained with {self.live_tasks} task(s) still blocked"
+                )
+            return self.now
+        finally:
+            self._running = False
+
+    def run_until_idle(self) -> float:
+        """Drain the queue without treating blocked tasks as an error.
+
+        Useful for driving open-ended server simulations where daemons
+        legitimately block forever waiting for requests.
+        """
+        while self.step():
+            pass
+        return self.now
+
+    def _next_event_time(self) -> Optional[float]:
+        while self._heap:
+            time, _seq, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    def _check_failures(self) -> None:
+        if self.failures:
+            failure = self.failures[0]
+            self.failures = []
+            raise failure
+
+    @property
+    def pending_events(self) -> int:
+        """Number of uncancelled events still queued (O(n); for tests)."""
+        return sum(1 for _t, _s, h in self._heap if not h.cancelled)

@@ -1,0 +1,144 @@
+"""Contended resources: counting semaphores and processor-sharing CPUs."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, Optional
+
+from .engine import Simulator
+from .tasks import Effect, Sleep, _Waiter
+
+__all__ = ["Resource", "Cpu"]
+
+
+class Resource:
+    """A counting semaphore with FIFO queueing.
+
+    ``yield resource.acquire()`` blocks until a unit is free; pair it
+    with ``resource.release()`` in a ``try/finally``.  For the common
+    hold-for-a-duration pattern use :meth:`hold`.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        self._queue: Deque[_Waiter] = deque()
+        #: Cumulative (units x seconds) of busy time, for utilization metrics.
+        self.busy_time = 0.0
+        self._last_change = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def acquire(self) -> Effect:
+        return _Acquire(self)
+
+    def release(self) -> None:
+        self._account()
+        if self._queue:
+            waiter = self._queue.popleft()
+            self.sim.call_soon(waiter._resume, None)
+        else:
+            if self.in_use <= 0:
+                raise RuntimeError(f"resource {self.name!r} released when free")
+            self.in_use -= 1
+
+    def hold(self, duration: float) -> Generator[Effect, None, None]:
+        """``yield from resource.hold(dt)`` — acquire, sleep, release."""
+        yield self.acquire()
+        try:
+            yield Sleep(duration)
+        finally:
+            self.release()
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Mean fraction of capacity busy since the start of the run."""
+        now = self.sim.now if now is None else now
+        busy = self.busy_time + self.in_use * (now - self._last_change)
+        return busy / (self.capacity * now) if now > 0 else 0.0
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self.busy_time += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+
+class _Acquire(Effect):
+    def __init__(self, resource: Resource):
+        self.resource = resource
+
+    def bind(self, waiter: _Waiter) -> None:
+        res = self.resource
+        if res.in_use < res.capacity and not res._queue:
+            res._account()
+            res.in_use += 1
+            waiter.sim.call_soon(waiter._resume, None)
+        else:
+            res._queue.append(waiter)
+
+    def cancel(self, waiter: _Waiter) -> None:
+        try:
+            self.resource._queue.remove(waiter)
+        except ValueError:
+            pass
+
+
+class Cpu:
+    """A round-robin scheduled processor.
+
+    ``yield from cpu.consume(t)`` charges ``t`` seconds of CPU demand;
+    with *n* runnable consumers each gets roughly a ``1/n`` share, as on
+    a timeslicing uniprocessor.  The quantum bounds both fairness
+    granularity and event overhead.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        quantum: float = 0.01,
+        speed: float = 1.0,
+        name: str = "cpu",
+    ):
+        if speed <= 0:
+            raise ValueError("cpu speed must be positive")
+        self.sim = sim
+        self.quantum = quantum
+        #: Relative speed: demand is divided by this, so a speed-2 CPU
+        #: finishes the same work in half the simulated time.
+        self.speed = speed
+        self.name = name
+        #: The single core; public so schedulers with their own slicing
+        #: discipline (e.g. interruptible process compute loops) can
+        #: contend on it directly.
+        self.core = Resource(sim, capacity=1, name=name)
+        #: Number of consumers currently inside consume(); the model
+        #: kernel samples this for its load average.
+        self.runnable = 0
+        self.total_demand = 0.0
+
+    def consume(self, demand: float) -> Generator[Effect, None, None]:
+        """Charge ``demand`` CPU-seconds, sharing the core fairly."""
+        if demand < 0:
+            raise ValueError(f"negative CPU demand: {demand}")
+        self.total_demand += demand
+        remaining = demand / self.speed
+        self.runnable += 1
+        try:
+            while remaining > 1e-12:
+                slice_len = min(self.quantum, remaining)
+                yield self.core.acquire()
+                try:
+                    yield Sleep(slice_len)
+                finally:
+                    self.core.release()
+                remaining -= slice_len
+        finally:
+            self.runnable -= 1
+
+    def utilization(self) -> float:
+        return self.core.utilization()

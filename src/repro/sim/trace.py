@@ -1,0 +1,62 @@
+"""Structured event tracing.
+
+Components emit ``(time, source, kind, detail)`` records to a shared
+:class:`Tracer`.  Tests assert on traces; benchmarks aggregate them; the
+examples print them.  Tracing is off by default and costs one predicate
+check per emit when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:12.6f}] {self.source:<20} {self.kind:<24} {parts}"
+
+
+class Tracer:
+    """Collects trace records, optionally filtered by kind."""
+
+    def __init__(self, enabled: bool = False, kinds: Optional[List[str]] = None):
+        self.enabled = enabled
+        self.kinds = set(kinds) if kinds else None
+        self.records: List[TraceRecord] = []
+        #: Optional sink called with each record as it is emitted
+        #: (e.g. ``print`` for live example output).
+        self.sink: Optional[Callable[[TraceRecord], None]] = None
+
+    def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        record = TraceRecord(time, source, kind, detail)
+        self.records.append(record)
+        if self.sink is not None:
+            self.sink(record)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def between(self, start: float, end: float) -> Iterator[TraceRecord]:
+        return (r for r in self.records if start <= r.time <= end)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,32 @@
+"""Workloads: the applications and traces the thesis evaluates with.
+
+Parallel make (:mod:`.pmake`), independent simulation farms
+(:mod:`.simfarm`), Zhou's process-lifetime distribution
+(:mod:`.lifetimes`), diurnal user-activity traces (:mod:`.activity`),
+and the end-to-end usage simulation (:mod:`.trace`).
+"""
+
+from .activity import ActivityDriver, ActivityModel, idle_fraction_by_hour
+from .lifetimes import ZhouLifetimes, fit_hyperexponential
+from .pmake import BuildTarget, Pmake, PmakeResult, SourceTree, build_job
+from .simfarm import SimFarm, SimFarmResult, SimJobSpec, simulation_job
+from .trace import UsageReport, UsageSimulation
+
+__all__ = [
+    "ActivityDriver",
+    "ActivityModel",
+    "BuildTarget",
+    "Pmake",
+    "PmakeResult",
+    "SimFarm",
+    "SimFarmResult",
+    "SimJobSpec",
+    "SourceTree",
+    "UsageReport",
+    "UsageSimulation",
+    "ZhouLifetimes",
+    "build_job",
+    "fit_hyperexponential",
+    "idle_fraction_by_hour",
+    "simulation_job",
+]

@@ -1,0 +1,73 @@
+"""Shared fixtures: a miniature cluster of FS clients and servers.
+
+Kernel-free harness used by the file-system and network tests; the
+kernel tests build full hosts via repro.cluster instead.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.config import ClusterParams
+from repro.fs import FileServer, FsClient, PdevRegistry, PrefixTable
+from repro.net import Lan, NetNode, RpcPort
+from repro.sim import Cpu, Simulator, run_until_complete, spawn
+
+
+class FsHost:
+    """A bare host: node + cpu + rpc (+ optional fs roles)."""
+
+    def __init__(self, sim: Simulator, lan: Lan, name: str):
+        self.sim = sim
+        self.lan = lan
+        self.name = name
+        self.node = NetNode(sim, name)
+        lan.register(self.node)
+        self.cpu = Cpu(sim, quantum=lan.params.cpu_quantum, name=f"{name}-cpu")
+        self.rpc = RpcPort(sim, lan, self.node, cpu=self.cpu)
+        self.fs: FsClient | None = None
+        self.server: FileServer | None = None
+        self.pdevs: PdevRegistry | None = None
+
+    @property
+    def address(self) -> int:
+        return self.node.address
+
+
+class MiniCluster:
+    """One file server plus N client hosts on a LAN."""
+
+    def __init__(self, clients: int = 2, seed: int = 0, **param_overrides):
+        self.params = ClusterParams(seed=seed).clone(**param_overrides)
+        self.sim = Simulator()
+        self.lan = Lan(self.sim, params=self.params)
+        self.server_host = FsHost(self.sim, self.lan, "server")
+        self.server = FileServer(
+            self.sim,
+            self.lan,
+            self.server_host.node,
+            self.server_host.rpc,
+            self.server_host.cpu,
+            params=self.params,
+        )
+        self.server_host.server = self.server
+        self.prefixes = PrefixTable()
+        self.prefixes.add("/", self.server_host.address)
+        self.clients: List[FsHost] = []
+        for i in range(clients):
+            host = FsHost(self.sim, self.lan, f"client{i}")
+            host.fs = FsClient(
+                self.sim,
+                self.lan,
+                host.node,
+                host.rpc,
+                host.cpu,
+                self.prefixes,
+                params=self.params,
+            )
+            host.pdevs = PdevRegistry(self.sim, host.rpc, host.cpu, self.params)
+            self.clients.append(host)
+
+    def run(self, coro: Generator, name: str = "test"):
+        """Drive one coroutine to completion and return its result."""
+        return run_until_complete(self.sim, coro, name=name)

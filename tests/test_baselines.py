@@ -1,0 +1,228 @@
+"""Tests for the baseline systems: rsh, Remote UNIX forwarding, Condor,
+and the placement-vs-migration scenario."""
+
+import pytest
+
+from repro import SpriteCluster
+from repro.baselines import (
+    CondorJob,
+    CondorScheduler,
+    ForwardingSurrogate,
+    remote_unix_run,
+    rsh_run,
+    run_placement_scenario,
+)
+from repro.fs import OpenMode
+from repro.sim import Sleep, spawn
+
+
+def make_cluster(n=3, **kwargs):
+    cluster = SpriteCluster(workstations=n, start_daemons=False, **kwargs)
+    return cluster
+
+
+# ----------------------------------------------------------------------
+# rsh
+# ----------------------------------------------------------------------
+def test_rsh_runs_on_target_without_transparency():
+    cluster = make_cluster(2)
+    origin, target = cluster.hosts[0], cluster.hosts[1]
+
+    def command(proc):
+        name = yield from proc.gethostname()
+        yield from proc.compute(1.0)
+        return name
+
+    def invoker(proc):
+        result = yield from rsh_run(proc, target, command)
+        return result
+
+    result = cluster.run_process(origin, invoker, name="rsh")
+    # rsh is NOT transparent: the command sees the remote host's name.
+    assert result.value == target.name
+    assert result.elapsed > 1.0
+    # And the CPU burned on the target.
+    assert target.cpu.total_demand >= 1.0
+
+
+def test_rsh_process_homed_on_target():
+    from repro.kernel import home_of_pid
+
+    cluster = make_cluster(2)
+    origin, target = cluster.hosts[0], cluster.hosts[1]
+
+    def command(proc):
+        yield from proc.compute(0.1)
+        return 0
+
+    def invoker(proc):
+        result = yield from rsh_run(proc, target, command)
+        return result.remote_pid
+
+    pid = cluster.run_process(origin, invoker)
+    assert home_of_pid(pid) == target.address
+
+
+# ----------------------------------------------------------------------
+# Remote UNIX forwarding (A2)
+# ----------------------------------------------------------------------
+def test_forwarding_executes_remotely_with_home_state():
+    cluster = make_cluster(2)
+    home, runner = cluster.hosts[0], cluster.hosts[1]
+    cluster.add_file("/input", size=64 * 1024)
+    surrogate = ForwardingSurrogate(home)
+
+    def job(fwd):
+        fd = yield from fwd.open("/input", OpenMode.READ)
+        nread = yield from fwd.read(fd, 64 * 1024)
+        yield from fwd.close(fd)
+        yield from fwd.compute(1.0)
+        name = yield from fwd.gethostname()
+        return (nread, name)
+
+    def launcher():
+        task = yield from remote_unix_run(surrogate, runner, job)
+        result = yield task.join()
+        return result
+
+    task = spawn(cluster.sim, launcher(), name="launcher")
+    cluster.run_until_complete(task)
+    nread, name = task.result
+    assert nread == 64 * 1024
+    assert name == home.name            # forwarded gethostname
+    assert runner.cpu.total_demand >= 1.0
+    assert surrogate.calls_served >= 4  # open, read, close, gethostname
+
+
+def test_forwarding_data_double_hops():
+    """Reads cost server->home + home->runner: more wire bytes than the
+    transparent Sprite path."""
+    cluster = make_cluster(2)
+    home, runner = cluster.hosts[0], cluster.hosts[1]
+    cluster.add_file("/big", size=256 * 1024)
+    surrogate = ForwardingSurrogate(home)
+
+    def job(fwd):
+        fd = yield from fwd.open("/big", OpenMode.READ)
+        yield from fwd.read(fd, 256 * 1024)
+        yield from fwd.close(fd)
+        return 0
+
+    bytes_before = cluster.lan.bytes_sent
+
+    def launcher():
+        task = yield from remote_unix_run(surrogate, runner, job, image_bytes=1)
+        yield task.join()
+
+    task = spawn(cluster.sim, launcher(), name="launcher")
+    cluster.run_until_complete(task)
+    moved = cluster.lan.bytes_sent - bytes_before
+    # The 256 KB crossed the wire twice (server->home fetch, home->runner
+    # relay).
+    assert moved >= 2 * 256 * 1024
+
+
+def test_forwarding_every_trivial_call_pays_rpc():
+    cluster = make_cluster(2)
+    home, runner = cluster.hosts[0], cluster.hosts[1]
+    surrogate = ForwardingSurrogate(home)
+
+    def job(fwd):
+        for _ in range(10):
+            yield from fwd.gettimeofday()
+        return 0
+
+    def launcher():
+        task = yield from remote_unix_run(surrogate, runner, job, image_bytes=1)
+        yield task.join()
+
+    calls_before = home.rpc.calls_served
+    task = spawn(cluster.sim, launcher(), name="launcher")
+    cluster.run_until_complete(task)
+    assert surrogate.calls_served == 10
+
+
+# ----------------------------------------------------------------------
+# Condor checkpoint/restart
+# ----------------------------------------------------------------------
+def run_condor(cluster, scheduler, timeout=100_000.0):
+    scheduler.start()
+    def waiter():
+        while not scheduler.all_done:
+            yield Sleep(5.0)
+    task = spawn(cluster.sim, waiter(), name="condor-waiter")
+    cluster.run_until_complete(task)
+
+
+def test_condor_completes_jobs_on_idle_hosts():
+    cluster = SpriteCluster(workstations=3, start_daemons=True)
+    cluster.run(until=45.0)
+    scheduler = CondorScheduler(cluster, checkpoint_period=50.0)
+    for i in range(4):
+        scheduler.submit(CondorJob(job_id=i, cpu_seconds=30.0))
+    run_condor(cluster, scheduler)
+    assert len(scheduler.results) == 4
+    assert all(r.job.finished_at is not None for r in scheduler.results)
+
+
+def test_condor_checkpoints_cost_image_writes():
+    cluster = SpriteCluster(workstations=2, start_daemons=True)
+    cluster.run(until=45.0)
+    scheduler = CondorScheduler(cluster, checkpoint_period=20.0)
+    scheduler.submit(CondorJob(job_id=0, cpu_seconds=100.0, image_bytes=1024 * 1024))
+    run_condor(cluster, scheduler)
+    job = scheduler.results[0].job
+    assert job.checkpoints >= 3
+    assert cluster.file_server.bytes_written >= job.checkpoints * 1024 * 1024
+
+
+def test_condor_eviction_loses_work_since_checkpoint():
+    cluster = SpriteCluster(workstations=2, start_daemons=True)
+    cluster.run(until=45.0)
+    scheduler = CondorScheduler(cluster, checkpoint_period=1000.0)  # no checkpoints
+    scheduler.submit(CondorJob(job_id=0, cpu_seconds=60.0))
+    scheduler.start()
+
+    # Owners return everywhere mid-job, then leave again; after the
+    # input-idle threshold passes the hosts become reusable.
+    def owner():
+        yield Sleep(30.0)
+        for host in cluster.hosts:
+            host.user_input()
+        yield Sleep(1.0)
+        for host in cluster.hosts:
+            host.user_leaves()
+
+    spawn(cluster.sim, owner(), name="owner", daemon=True)
+
+    def waiter():
+        while not scheduler.all_done:
+            yield Sleep(5.0)
+
+    task = spawn(cluster.sim, waiter(), name="waiter")
+    cluster.run_until_complete(task)
+    job = scheduler.results[0].job
+    assert scheduler.evictions >= 1
+    assert job.restarts >= 1
+    assert job.lost_cpu > 0          # work since the last checkpoint gone
+    assert job.finished_at is not None
+
+
+# ----------------------------------------------------------------------
+# Placement vs migration (E11)
+# ----------------------------------------------------------------------
+def test_placement_scenario_interference_contrast():
+    placement = run_placement_scenario(
+        "placement", hosts=4, jobs=3, job_cpu=60.0, owners_return_after=20.0
+    )
+    sprite = run_placement_scenario(
+        "sprite", hosts=4, jobs=3, job_cpu=60.0, owners_return_after=20.0
+    )
+    # Sprite evicts; placement-only does not.
+    assert sprite.evictions >= 1
+    assert placement.evictions == 0
+    # Owners suffer far longer under placement-only.
+    assert placement.owner_interference > 5 * max(sprite.owner_interference, 1.0)
+    # Both complete all jobs.
+    assert len(placement.turnarounds) == 3
+    assert len(sprite.turnarounds) == 3

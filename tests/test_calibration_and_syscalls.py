@@ -1,0 +1,132 @@
+"""Calibration self-checks and the small-syscall additions."""
+
+import pytest
+
+from repro import SpriteCluster
+from repro.config import ClusterParams
+from repro.fs import OpenMode
+from repro.validation import measure_calibration
+
+
+# ----------------------------------------------------------------------
+# Calibration: the model sits on Sun-3-class operating points
+# ----------------------------------------------------------------------
+def test_calibration_null_rpc_near_paper():
+    report = measure_calibration()
+    # Target: ~1.9 ms null kernel-to-kernel RPC (Sun-3).
+    assert 1.0 < report.null_rpc_ms < 4.0
+
+
+def test_calibration_bulk_throughput_near_ethernet():
+    report = measure_calibration()
+    # Target: 480-1100 KB/s effective on 10 Mb/s Ethernet.
+    assert 400 < report.bulk_throughput_kbs < 1200
+
+
+def test_calibration_local_call_cheap():
+    report = measure_calibration()
+    assert report.local_call_ms < 0.5
+    assert report.null_rpc_ms > 5 * report.local_call_ms
+
+
+def test_calibration_scales_with_bandwidth():
+    fast = measure_calibration(ClusterParams().clone(net_bandwidth=10 * 1024 * 1024))
+    slow = measure_calibration()
+    assert fast.bulk_throughput_kbs > 5 * slow.bulk_throughput_kbs
+
+
+# ----------------------------------------------------------------------
+# dup / dup2 / getuid / times
+# ----------------------------------------------------------------------
+def test_dup_shares_offset():
+    cluster = SpriteCluster(workstations=1, start_daemons=False)
+    cluster.add_file("/f", size=10_000)
+
+    def job(proc):
+        fd = yield from proc.open("/f", OpenMode.READ)
+        fd2 = yield from proc.dup(fd)
+        yield from proc.read(fd, 1000)
+        got = yield from proc.read(fd2, 1000)     # continues at 1000
+        offset = proc.pcb.stream(fd).offset
+        yield from proc.close(fd)
+        yield from proc.close(fd2)
+        return (got, offset)
+
+    got, offset = cluster.run_process(cluster.hosts[0], job)
+    assert got == 1000
+    assert offset == 2000
+
+
+def test_dup2_replaces_target_descriptor():
+    cluster = SpriteCluster(workstations=1, start_daemons=False)
+    cluster.add_file("/a", size=100)
+    cluster.add_file("/b", size=100)
+
+    def job(proc):
+        fd_a = yield from proc.open("/a", OpenMode.READ)
+        fd_b = yield from proc.open("/b", OpenMode.READ)
+        returned = yield from proc.dup2(fd_a, fd_b)
+        # fd_b now refers to /a.
+        path = proc.pcb.stream(fd_b).path
+        yield from proc.close(fd_a)
+        yield from proc.close(fd_b)
+        return (returned, path)
+
+    returned, path = cluster.run_process(cluster.hosts[0], job)
+    assert path == "/a"
+
+
+def test_getuid_inherited_by_child():
+    cluster = SpriteCluster(workstations=1, start_daemons=False)
+    host = cluster.hosts[0]
+
+    def child(proc):
+        uid = yield from proc.getuid()
+        yield from proc.exit(uid)
+
+    def parent(proc):
+        yield from proc.fork(child, name="kid")
+        status = yield from proc.wait()
+        return status.code
+
+    pcb, _ = host.spawn_process(parent, name="parent", uid=42)
+    assert cluster.run_until_complete(pcb.task) == 42
+
+
+def test_times_elapsed_vs_cpu():
+    cluster = SpriteCluster(workstations=1, start_daemons=False)
+    host = cluster.hosts[0]
+
+    def job(proc):
+        yield from proc.compute(1.0)
+        yield from proc.sleep(2.0)
+        report = yield from proc.times()
+        return report
+
+    report = cluster.run_process(host, job)
+    assert report["utime"] == pytest.approx(1.0, abs=0.1)
+    assert report["elapsed"] == pytest.approx(3.0, abs=0.2)
+
+
+def test_times_consistent_across_migration():
+    """times() uses the home clock even after migration (class HOME)."""
+    from repro.sim import Sleep, spawn
+
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(2.0)
+        report = yield from proc.times()
+        return (report, proc.pcb.current)
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.5)
+        yield from cluster.managers[a.address].migrate(pcb, b.address)
+
+    spawn(cluster.sim, driver(), name="driver")
+    report, where = cluster.run_until_complete(pcb.task)
+    assert where == b.address
+    assert report["elapsed"] == pytest.approx(cluster.sim.now, abs=0.2)

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import DEMOS, EXPERIMENTS, build_parser, cmd_info, cmd_list, main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_parser_accepts_all_subcommands():
+    parser = build_parser()
+    assert parser.parse_args(["info"]).command == "info"
+    assert parser.parse_args(["list"]).command == "list"
+    assert parser.parse_args(["demo", "quickstart"]).name == "quickstart"
+    assert parser.parse_args(["experiment", "E5"]).id == "E5"
+
+
+def test_parser_rejects_unknown_demo():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["demo", "nonexistent"])
+
+
+def test_info_prints_calibration_and_appendix(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "net_bandwidth" in out
+    assert "Appendix A" in out
+    assert "local" in out
+
+
+def test_list_names_everything(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in DEMOS:
+        assert name in out
+    for exp_id in EXPERIMENTS:
+        assert exp_id in out
+
+
+def test_every_demo_script_exists():
+    for script in DEMOS.values():
+        assert (REPO_ROOT / "examples" / script).is_file(), script
+
+
+def test_every_experiment_bench_exists():
+    for script in EXPERIMENTS.values():
+        assert (REPO_ROOT / "benchmarks" / script).is_file(), script
+
+
+def test_demo_runs_quickstart(capsys):
+    assert main(["demo", "quickstart"]) == 0
+    out = capsys.readouterr().out
+    assert "transparency" in out

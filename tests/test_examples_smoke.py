@@ -1,0 +1,41 @@
+"""Smoke tests: the quick example scenarios run end to end."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "migrated:" in out
+    assert "transparency" in out
+
+
+def test_fault_tolerance_runs(capsys):
+    run_example("fault_tolerance_demo.py")
+    out = capsys.readouterr().out
+    assert "migration aborted" in out
+    assert "after restart: granted 2 hosts" in out
+    assert "no delayed-write data lost" in out
+
+
+def test_socket_migration_runs(capsys):
+    run_example("socket_migration.py")
+    out = capsys.readouterr().out
+    assert "server total: 40960 bytes" in out
+    assert "ws2" in out
+
+
+def test_eviction_demo_runs(capsys):
+    run_example("eviction_demo.py")
+    out = capsys.readouterr().out
+    assert "eviction on" in out
+    assert "placement" in out and "sprite" in out

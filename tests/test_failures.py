@@ -1,0 +1,195 @@
+"""Failure injection: crashed hosts, dead servers, aborted migrations."""
+
+import pytest
+
+from repro import SpriteCluster
+from repro.fs import OpenMode
+from repro.loadsharing import LoadSharingService
+from repro.migration import MigrationRefused
+from repro.net import RpcError, RpcTimeout
+from repro.sim import Sleep, run_until_complete, spawn
+
+
+def test_read_from_downed_server_times_out():
+    cluster = SpriteCluster(
+        workstations=1, start_daemons=False,
+    )
+    cluster.params.rpc_timeout = 0.5
+    cluster.params.rpc_retries = 0
+    cluster.add_file("/f", size=4096)
+
+    def job(proc):
+        fd = yield from proc.open("/f", OpenMode.READ)
+        cluster.server_hosts[0].node.up = False
+        try:
+            # Cached? No: first read, must go to the server.
+            yield from proc.read(fd, 4096)
+        except RpcTimeout:
+            return "timeout"
+        return "read-ok"
+
+    assert cluster.run_process(cluster.hosts[0], job) == "timeout"
+
+
+def test_migration_to_downed_target_aborts_cleanly():
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    cluster.params.rpc_timeout = 0.5
+    cluster.params.rpc_retries = 0
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    b.node.up = False
+
+    def job(proc):
+        yield from proc.compute(3.0)
+        return proc.pcb.current
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.5)
+        try:
+            yield from cluster.managers[a.address].migrate(pcb, b.address)
+        except MigrationRefused as refusal:
+            return f"refused: {refusal}"
+
+    driver_task = spawn(cluster.sim, driver(), name="driver")
+    final = cluster.run_until_complete(pcb.task)
+    # The process never froze; it finished at the source.
+    assert final == a.address
+    assert "unreachable" in driver_task.result
+
+
+def test_target_crash_during_install_rolls_back():
+    """The target accepts, then dies before install: the process must
+    resume on the source with its streams intact."""
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    cluster.params.rpc_timeout = 0.5
+    cluster.params.rpc_retries = 0
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    cluster.add_file("/data", size=200_000)
+
+    # Sabotage the install handler: the host dies at that instant.
+    def crashing_install(payload):
+        b.node.up = False
+        yield Sleep(10.0)   # never answers; the caller times out
+        return None
+
+    cluster.managers[b.address].host.rpc.register("mig.install", crashing_install)
+
+    def job(proc):
+        fd = yield from proc.open("/data", OpenMode.READ)
+        yield from proc.read(fd, 50_000)
+        yield from proc.compute(3.0)
+        # After the failed migration the stream still works here.
+        more = yield from proc.read(fd, 50_000)
+        yield from proc.close(fd)
+        return (proc.pcb.current, more)
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.5)
+        try:
+            yield from cluster.managers[a.address].migrate(pcb, b.address)
+        except MigrationRefused:
+            return "aborted"
+
+    driver_task = spawn(cluster.sim, driver(), name="driver")
+    where, more = cluster.run_until_complete(pcb.task)
+    assert driver_task.result == "aborted"
+    assert where == a.address
+    assert more == 50_000
+    refusals = [r for r in cluster.migration_records() if r.refused]
+    assert len(refusals) == 1
+    assert "install failed" in refusals[0].detail["refusal"]
+
+
+def test_migd_crash_degrades_to_local_then_recovers():
+    cluster = SpriteCluster(workstations=4, start_daemons=True)
+    service = LoadSharingService(cluster, architecture="centralized")
+    cluster.run(until=45.0)
+    selector = service.selector_for(cluster.hosts[0])
+
+    def before_crash():
+        granted = yield from selector.request(2)
+        yield from selector.release(granted)
+        return granted
+
+    granted = run_until_complete(cluster.sim, before_crash(), name="before")
+    assert len(granted) == 2
+
+    # Crash migd.
+    service.migd.stop()
+
+    def during_outage():
+        granted = yield from selector.request(2)
+        return granted
+
+    granted = run_until_complete(cluster.sim, during_outage(), name="during")
+    assert granted == []            # graceful degradation, no hang
+    assert selector.failures >= 1
+
+    # Restart: hosts re-announce within one availability period.
+    service.migd.restart()
+    cluster.run(until=cluster.sim.now + 3 * cluster.params.availability_period)
+
+    def after_restart():
+        granted = yield from selector.request(2)
+        return granted
+
+    granted = run_until_complete(cluster.sim, after_restart(), name="after")
+    assert len(granted) == 2
+
+
+def test_eviction_daemon_survives_unreachable_home():
+    cluster = SpriteCluster(workstations=2, start_daemons=True)
+    cluster.params.rpc_timeout = 0.5
+    cluster.params.rpc_retries = 0
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(30.0)
+        return proc.pcb.current
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.5)
+        yield from cluster.managers[a.address].migrate(pcb, b.address)
+        yield Sleep(2.0)
+        a.node.up = False      # home crashes
+        b.user_input()         # owner returns: eviction will fail
+        yield Sleep(5.0)
+        a.node.up = True       # home comes back
+        b.user_input()         # daemon retries and succeeds
+
+    spawn(cluster.sim, driver(), name="driver", daemon=True)
+    final = cluster.run_until_complete(pcb.task)
+    assert final == a.address
+    assert cluster.evictors[1].failed_evictions >= 1
+    assert len(cluster.evictors[1].events) >= 1
+
+
+def test_rsh_squatter_survives_user_return_but_migration_guest_leaves():
+    """Contrast test: rsh has no eviction path at all."""
+    from repro.baselines import rsh_run
+
+    cluster = SpriteCluster(workstations=2, start_daemons=True)
+    origin, target = cluster.hosts[0], cluster.hosts[1]
+
+    def squatter(proc):
+        yield from proc.compute(20.0)
+        return proc.pcb.current
+
+    def invoker(proc):
+        result = yield from rsh_run(proc, target, squatter)
+        return result.value
+
+    def owner_returns():
+        yield Sleep(5.0)
+        target.user_input()
+
+    spawn(cluster.sim, owner_returns(), name="owner", daemon=True)
+    where = cluster.run_process(origin, invoker, name="rsh")
+    # The rsh process is native to the target: eviction cannot touch it.
+    assert where == target.address
+    assert all(not evictor.events for evictor in cluster.evictors)

@@ -1,0 +1,107 @@
+"""Unit tests for the client block cache."""
+
+import pytest
+
+from repro.fs import BlockCache
+
+
+def make_cache(capacity=8, block=4096):
+    return BlockCache(capacity_blocks=capacity, block_size=block)
+
+
+def test_miss_then_hit_after_install():
+    cache = make_cache()
+    hit, miss = cache.lookup_range("/a", 1, 0, 8192)
+    assert (hit, miss) == (0, 2)
+    cache.install_range("/a", 1, 0, 8192, dirty=False, now=0.0)
+    hit, miss = cache.lookup_range("/a", 1, 0, 8192)
+    assert (hit, miss) == (2, 0)
+
+
+def test_version_mismatch_counts_as_miss():
+    cache = make_cache()
+    cache.install_range("/a", 1, 0, 4096, dirty=False, now=0.0)
+    hit, miss = cache.lookup_range("/a", 2, 0, 4096)
+    assert (hit, miss) == (0, 1)
+
+
+def test_partial_range_hits():
+    cache = make_cache()
+    cache.install_range("/a", 1, 0, 4096, dirty=False, now=0.0)
+    hit, miss = cache.lookup_range("/a", 1, 0, 12288)
+    assert (hit, miss) == (1, 2)
+
+
+def test_lru_eviction_returns_dirty_victims():
+    cache = make_cache(capacity=2)
+    cache.install_range("/a", 1, 0, 4096, dirty=True, now=1.0)
+    cache.install_range("/b", 1, 0, 4096, dirty=False, now=2.0)
+    evicted = cache.install_range("/c", 1, 0, 4096, dirty=False, now=3.0)
+    # /a was oldest and dirty.
+    assert [(b.path, b.dirty) for b in evicted] == [("/a", True)]
+    assert len(cache) == 2
+
+
+def test_clean_eviction_is_silent():
+    cache = make_cache(capacity=1)
+    cache.install_range("/a", 1, 0, 4096, dirty=False, now=0.0)
+    evicted = cache.install_range("/b", 1, 0, 4096, dirty=False, now=1.0)
+    assert evicted == []
+
+
+def test_recency_updated_by_lookup():
+    cache = make_cache(capacity=2)
+    cache.install_range("/a", 1, 0, 4096, dirty=False, now=0.0)
+    cache.install_range("/b", 1, 0, 4096, dirty=False, now=1.0)
+    cache.lookup_range("/a", 1, 0, 4096)  # touch /a
+    cache.install_range("/c", 1, 0, 4096, dirty=False, now=2.0)
+    assert cache.drop_file("/a") == 1  # /a survived, /b was evicted
+    assert cache.drop_file("/b") == 0
+
+
+def test_dirty_accounting_and_take_dirty():
+    cache = make_cache()
+    cache.install_range("/a", 1, 0, 8192, dirty=True, now=5.0)
+    cache.install_range("/b", 1, 0, 4096, dirty=True, now=5.0)
+    assert cache.dirty_bytes("/a") == 8192
+    assert cache.dirty_bytes() == 12288
+    taken = cache.take_dirty("/a")
+    assert len(taken) == 2
+    assert cache.dirty_bytes("/a") == 0
+    assert cache.dirty_bytes("/b") == 4096
+
+
+def test_rewriting_dirty_block_keeps_original_dirty_since():
+    cache = make_cache()
+    cache.install_range("/a", 1, 0, 4096, dirty=True, now=1.0)
+    cache.install_range("/a", 1, 0, 4096, dirty=True, now=9.0)
+    aged = cache.aged_dirty(now=31.5, max_age=30.0)
+    assert "/a" in aged
+
+
+def test_aged_dirty_filters_young_blocks():
+    cache = make_cache()
+    cache.install_range("/a", 1, 0, 4096, dirty=True, now=0.0)
+    cache.install_range("/b", 1, 0, 4096, dirty=True, now=25.0)
+    aged = cache.aged_dirty(now=30.0, max_age=30.0)
+    assert list(aged) == ["/a"]
+
+
+def test_drop_file_removes_all_blocks():
+    cache = make_cache()
+    cache.install_range("/a", 1, 0, 16384, dirty=True, now=0.0)
+    assert cache.drop_file("/a") == 4
+    assert len(cache) == 0
+    assert cache.dirty_bytes() == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        BlockCache(capacity_blocks=0, block_size=4096)
+
+
+def test_cached_paths_sorted_unique():
+    cache = make_cache()
+    cache.install_range("/b", 1, 0, 8192, dirty=False, now=0.0)
+    cache.install_range("/a", 1, 0, 4096, dirty=False, now=0.0)
+    assert cache.cached_paths() == ["/a", "/b"]

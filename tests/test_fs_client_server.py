@@ -1,0 +1,273 @@
+"""Integration tests: FS clients against a server over the LAN."""
+
+import pytest
+
+from repro.fs import FileNotFound, OpenMode
+from repro.fs.protocol import OpenRequest
+
+from .helpers import MiniCluster
+
+
+def test_create_write_read_round_trip():
+    cluster = MiniCluster(clients=1)
+    fs = cluster.clients[0].fs
+
+    def scenario():
+        stream = yield from fs.open("/data", OpenMode.READ_WRITE | OpenMode.CREATE)
+        written = yield from fs.write(stream, 10_000)
+        assert written == 10_000
+        yield from fs.seek(stream, 0)
+        got = yield from fs.read(stream, 10_000)
+        yield from fs.close(stream)
+        return got
+
+    assert cluster.run(scenario()) == 10_000
+
+
+def test_open_missing_file_raises():
+    cluster = MiniCluster(clients=1)
+    fs = cluster.clients[0].fs
+
+    def scenario():
+        try:
+            yield from fs.open("/missing", OpenMode.READ)
+        except FileNotFound:
+            return "not-found"
+
+    assert cluster.run(scenario()) == "not-found"
+
+
+def test_read_at_eof_returns_zero():
+    cluster = MiniCluster(clients=1)
+    cluster.server.add_file("/small", size=100)
+    fs = cluster.clients[0].fs
+
+    def scenario():
+        stream = yield from fs.open("/small", OpenMode.READ)
+        first = yield from fs.read(stream, 1000)
+        second = yield from fs.read(stream, 1000)
+        yield from fs.close(stream)
+        return (first, second)
+
+    assert cluster.run(scenario()) == (100, 0)
+
+
+def test_cached_reread_avoids_server_traffic():
+    cluster = MiniCluster(clients=1)
+    cluster.server.add_file("/hot", size=40_960)
+    fs = cluster.clients[0].fs
+
+    def scenario():
+        stream = yield from fs.open("/hot", OpenMode.READ)
+        yield from fs.read(stream, 40_960)
+        served_once = cluster.server.bytes_read
+        yield from fs.seek(stream, 0)
+        yield from fs.read(stream, 40_960)
+        yield from fs.close(stream)
+        return (served_once, cluster.server.bytes_read)
+
+    first, second = cluster.run(scenario())
+    assert first > 0
+    assert second == first  # second read came from the client cache
+
+
+def test_delayed_write_back_reaches_server():
+    cluster = MiniCluster(clients=1)
+    fs = cluster.clients[0].fs
+
+    def scenario():
+        stream = yield from fs.open("/log", OpenMode.WRITE | OpenMode.CREATE)
+        yield from fs.write(stream, 8192)
+        yield from fs.close(stream)
+
+    cluster.run(scenario())
+    assert cluster.server.bytes_written == 0  # still delayed in the cache
+    cluster.sim.run(until=cluster.sim.now + 70.0)
+    assert cluster.server.bytes_written == 8192
+
+
+def test_sequential_write_sharing_flush_callback():
+    """B reads after A wrote: the server must recall A's dirty data."""
+    cluster = MiniCluster(clients=2)
+    fs_a = cluster.clients[0].fs
+    fs_b = cluster.clients[1].fs
+
+    def writer():
+        stream = yield from fs_a.open("/shared", OpenMode.WRITE | OpenMode.CREATE)
+        yield from fs_a.write(stream, 4096)
+        yield from fs_a.close(stream)
+
+    cluster.run(writer())
+    assert cluster.server.bytes_written == 0
+
+    def reader():
+        stream = yield from fs_b.open("/shared", OpenMode.READ)
+        got = yield from fs_b.read(stream, 4096)
+        yield from fs_b.close(stream)
+        return got
+
+    got = cluster.run(reader())
+    assert got == 4096
+    # A's delayed writes were flushed by the server's callback.
+    assert cluster.server.bytes_written >= 4096
+    assert cluster.server.consistency_callbacks >= 1
+
+
+def test_concurrent_write_sharing_disables_caching():
+    cluster = MiniCluster(clients=2)
+    fs_a = cluster.clients[0].fs
+    fs_b = cluster.clients[1].fs
+    state = {}
+
+    def scenario():
+        a_stream = yield from fs_a.open("/conc", OpenMode.WRITE | OpenMode.CREATE)
+        state["a_cacheable"] = a_stream.cacheable
+        b_stream = yield from fs_b.open("/conc", OpenMode.WRITE)
+        state["b_cacheable"] = b_stream.cacheable
+        # B's writes now go straight to the server.
+        yield from fs_b.write(b_stream, 4096)
+        state["server_bytes"] = cluster.server.bytes_written
+        yield from fs_a.close(a_stream)
+        yield from fs_b.close(b_stream)
+
+    cluster.run(scenario())
+    assert state["a_cacheable"] is True
+    assert state["b_cacheable"] is False
+    assert state["server_bytes"] >= 4096
+
+
+def test_version_bump_invalidates_stale_cache():
+    cluster = MiniCluster(clients=2)
+    fs_a = cluster.clients[0].fs
+    fs_b = cluster.clients[1].fs
+
+    def a_reads():
+        stream = yield from fs_a.open("/v", OpenMode.READ)
+        yield from fs_a.read(stream, 4096)
+        yield from fs_a.close(stream)
+
+    def b_writes():
+        stream = yield from fs_b.open("/v", OpenMode.WRITE)
+        yield from fs_b.write(stream, 4096)
+        yield from fs_b.close(stream)
+
+    cluster.server.add_file("/v", size=4096)
+    cluster.run(a_reads())
+    hits_before = cluster.clients[0].fs.cache.hits
+    cluster.run(b_writes())
+
+    def a_rereads():
+        stream = yield from fs_a.open("/v", OpenMode.READ)
+        yield from fs_a.read(stream, 4096)
+        yield from fs_a.close(stream)
+        return stream.version
+
+    version = cluster.run(a_rereads())
+    assert version >= 2
+    # The reread could not hit A's stale cached block.
+    assert cluster.clients[0].fs.cache.hits == hits_before
+
+
+def test_stat_and_remove():
+    cluster = MiniCluster(clients=1)
+    cluster.server.add_file("/doomed", size=123)
+    fs = cluster.clients[0].fs
+
+    def scenario():
+        info = yield from fs.stat("/doomed")
+        yield from fs.remove("/doomed")
+        try:
+            yield from fs.stat("/doomed")
+        except FileNotFound:
+            return info["size"]
+
+    assert cluster.run(scenario()) == 123
+
+
+def test_payload_read_write_and_update():
+    cluster = MiniCluster(clients=2)
+    fs_a = cluster.clients[0].fs
+    fs_b = cluster.clients[1].fs
+
+    def scenario():
+        yield from fs_a.payload_write("/ctrl", {"host1": 0.5})
+        yield from fs_b.payload_write("/ctrl", {"host2": 1.5}, op="update")
+        value = yield from fs_a.payload_read("/ctrl")
+        return value
+
+    assert cluster.run(scenario()) == {"host1": 0.5, "host2": 1.5}
+
+
+def test_append_mode_starts_at_eof():
+    cluster = MiniCluster(clients=1)
+    cluster.server.add_file("/appendee", size=1000)
+    fs = cluster.clients[0].fs
+
+    def scenario():
+        stream = yield from fs.open("/appendee", OpenMode.APPEND)
+        assert stream.offset == 1000
+        yield from fs.write(stream, 500)
+        yield from fs.close(stream)
+        info = yield from fs.stat("/appendee")
+        return info["size"]
+
+    assert cluster.run(scenario()) == 1500
+
+
+def test_server_counts_name_lookups():
+    cluster = MiniCluster(clients=1)
+    fs = cluster.clients[0].fs
+    cluster.server.add_file("/f", size=10)
+
+    def scenario():
+        for _ in range(5):
+            stream = yield from fs.open("/f", OpenMode.READ)
+            yield from fs.close(stream)
+
+    before = cluster.server.lookups
+    cluster.run(scenario())
+    assert cluster.server.lookups - before == 5
+
+
+def test_open_via_raw_rpc_matches_client_open():
+    """The protocol dataclasses are usable directly (API stability)."""
+    cluster = MiniCluster(clients=1)
+    cluster.server.add_file("/raw", size=1)
+    host = cluster.clients[0]
+
+    def scenario():
+        result = yield from host.rpc.call(
+            cluster.server_host.address,
+            "fs.open",
+            OpenRequest(client=host.address, path="/raw", mode=OpenMode.READ),
+        )
+        return (result.size, result.cacheable)
+
+    assert cluster.run(scenario()) == (1, True)
+
+
+def test_multi_server_prefix_routing():
+    cluster = MiniCluster(clients=1)
+    # Add a second server owning /tmp.
+    from repro.fs import FileServer
+    from .helpers import FsHost
+
+    tmp_host = FsHost(cluster.sim, cluster.lan, "tmpserver")
+    tmp_server = FileServer(
+        cluster.sim, cluster.lan, tmp_host.node, tmp_host.rpc, tmp_host.cpu,
+        params=cluster.params, name="tmpserver",
+    )
+    cluster.prefixes.add("/tmp", tmp_host.address)
+    fs = cluster.clients[0].fs
+
+    def scenario():
+        stream = yield from fs.open("/tmp/x", OpenMode.WRITE | OpenMode.CREATE)
+        yield from fs.write(stream, 4096)
+        yield from fs.close(stream)
+        root = yield from fs.open("/rootfile", OpenMode.WRITE | OpenMode.CREATE)
+        yield from fs.close(root)
+
+    cluster.run(scenario())
+    assert "/tmp/x" in tmp_server.files
+    assert "/tmp/x" not in cluster.server.files
+    assert "/rootfile" in cluster.server.files

@@ -1,0 +1,98 @@
+"""Multi-server namespaces: prefix routing under migration and load."""
+
+import pytest
+
+from repro import SpriteCluster
+from repro.fs import OpenMode
+from repro.sim import Sleep, spawn
+
+
+def make_two_server_cluster():
+    cluster = SpriteCluster(workstations=3, file_servers=2, start_daemons=False)
+    # fs0 exports /, fs1 exports /srv1.
+    return cluster
+
+
+def test_second_server_owns_its_prefix():
+    cluster = make_two_server_cluster()
+
+    def job(proc):
+        fd = yield from proc.open("/srv1/data", OpenMode.WRITE | OpenMode.CREATE)
+        yield from proc.write(fd, 8192)
+        yield from proc.close(fd)
+        fd = yield from proc.open("/rootfile", OpenMode.WRITE | OpenMode.CREATE)
+        yield from proc.close(fd)
+        return 0
+
+    cluster.run_process(cluster.hosts[0], job)
+    assert "/srv1/data" in cluster.server_hosts[1].server.files
+    assert "/srv1/data" not in cluster.server_hosts[0].server.files
+    assert "/rootfile" in cluster.server_hosts[0].server.files
+
+
+def test_migration_with_streams_on_both_servers():
+    """Streams on different I/O servers each get their own hand-off."""
+    cluster = make_two_server_cluster()
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    cluster.server_hosts[0].server.add_file("/on-root", size=50_000)
+    cluster.server_hosts[1].server.add_file("/srv1/on-srv1", size=50_000)
+
+    def job(proc):
+        fd_root = yield from proc.open("/on-root", OpenMode.READ)
+        fd_srv = yield from proc.open("/srv1/on-srv1", OpenMode.READ)
+        yield from proc.read(fd_root, 10_000)
+        yield from proc.read(fd_srv, 20_000)
+        yield from proc.compute(2.0)          # migration point
+        more_root = yield from proc.read(fd_root, 10_000)
+        more_srv = yield from proc.read(fd_srv, 10_000)
+        offsets = (
+            proc.pcb.stream(fd_root).offset,
+            proc.pcb.stream(fd_srv).offset,
+        )
+        yield from proc.close(fd_root)
+        yield from proc.close(fd_srv)
+        return (more_root, more_srv, offsets, proc.pcb.current)
+
+    pcb, _ = a.spawn_process(job, name="job")
+    records = []
+
+    def driver():
+        yield Sleep(0.5)
+        record = yield from cluster.managers[a.address].migrate(pcb, b.address)
+        records.append(record)
+
+    spawn(cluster.sim, driver(), name="driver")
+    more_root, more_srv, offsets, where = cluster.run_until_complete(pcb.task)
+    assert where == b.address
+    assert (more_root, more_srv) == (10_000, 10_000)
+    assert offsets == (20_000, 30_000)
+    assert records[0].streams_moved == 2
+
+
+def test_vm_backing_stays_on_root_server():
+    """Backing files route to / even when other servers exist."""
+    cluster = make_two_server_cluster()
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.use_memory(1024 * 1024)
+        yield from proc.dirty_memory(512 * 1024)
+        yield from proc.compute(3.0)
+        yield from proc.compute(0.5)   # settles page-in debt post-move
+        return 0
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.5)
+        yield from cluster.managers[a.address].migrate(pcb, b.address)
+
+    spawn(cluster.sim, driver(), name="driver")
+    cluster.run_until_complete(pcb.task)
+    root_server = cluster.server_hosts[0].server
+    srv1_server = cluster.server_hosts[1].server
+    assert root_server.bytes_written >= 512 * 1024       # the flush
+    assert srv1_server.bytes_written == 0                # not to /srv1
+    # The backing file was created on / and removed at process exit.
+    assert not any(path.startswith("/swap/") for path in root_server.files)
+    assert root_server.bytes_read >= 512 * 1024          # demand page-in

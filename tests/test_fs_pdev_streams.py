@@ -1,0 +1,212 @@
+"""Tests for pseudo-devices, backing files, and stream migration."""
+
+import pytest
+
+from repro.fs import BackingFile, OpenMode, PdevMaster
+from repro.sim import spawn
+
+from .helpers import MiniCluster
+
+
+def attach_pdev(cluster, host, path, name="svc"):
+    """Create a master on ``host`` and register its name at the server."""
+    master = PdevMaster(cluster.sim, name)
+    host.pdevs.attach(master)
+
+    def register():
+        yield from host.rpc.call(
+            cluster.server_host.address,
+            "fs.register_pdev",
+            (path, host.address, master.pdev_id),
+        )
+
+    cluster.run(register())
+    return master
+
+
+def serve_echo(master):
+    """A master process answering requests with message * 2."""
+    def loop():
+        while True:
+            request = yield master.next_request()
+            request.respond(request.message * 2)
+    return loop
+
+
+def test_pdev_request_response():
+    cluster = MiniCluster(clients=2)
+    master_host = cluster.clients[0]
+    client_host = cluster.clients[1]
+    master = attach_pdev(cluster, master_host, "/dev/echo")
+    spawn(cluster.sim, serve_echo(master)(), name="echo-master", daemon=True)
+
+    def client():
+        stream = yield from client_host.fs.open("/dev/echo", OpenMode.READ_WRITE)
+        assert stream.is_pdev
+        reply = yield from client_host.fs.pdev_request(stream, 21)
+        yield from client_host.fs.close(stream)
+        return reply
+
+    assert cluster.run(client()) == 42
+
+
+def test_pdev_connections_tracked():
+    cluster = MiniCluster(clients=2)
+    master_host = cluster.clients[0]
+    client_host = cluster.clients[1]
+    master = attach_pdev(cluster, master_host, "/dev/svc")
+
+    def client():
+        stream = yield from client_host.fs.open("/dev/svc", OpenMode.READ)
+        opened = len(master.connections)
+        yield from client_host.fs.close(stream)
+        return (opened, len(master.connections))
+
+    assert cluster.run(client()) == (1, 0)
+
+
+def test_pdev_multiple_clients_one_master():
+    cluster = MiniCluster(clients=2)
+    master_host = cluster.clients[0]
+    master = attach_pdev(cluster, master_host, "/dev/m")
+    spawn(cluster.sim, serve_echo(master)(), name="m", daemon=True)
+
+    def one_client(host, value):
+        stream = yield from host.fs.open("/dev/m", OpenMode.READ_WRITE)
+        reply = yield from host.fs.pdev_request(stream, value)
+        yield from host.fs.close(stream)
+        return reply
+
+    def scenario():
+        a = yield from one_client(cluster.clients[0], 1)
+        b = yield from one_client(cluster.clients[1], 2)
+        return (a, b)
+
+    assert cluster.run(scenario()) == (2, 4)
+    assert master.requests_served == 2
+
+
+def test_backing_file_page_out_and_in():
+    cluster = MiniCluster(clients=2)
+    src = cluster.clients[0].fs
+    dst = cluster.clients[1].fs
+
+    def scenario():
+        backing = BackingFile(src, "/swap/p1")
+        yield from backing.create()
+        yield from backing.page_out(64 * 1024)
+        # Hand off to the target host: no bytes move.
+        successor = backing.handoff(dst)
+        moved = yield from successor.page_in(64 * 1024)
+        return (backing.bytes_paged_out, moved)
+
+    out, read = cluster.run(scenario())
+    assert out == 64 * 1024
+    assert read == 64 * 1024
+    assert cluster.server.bytes_written >= 64 * 1024
+    assert cluster.server.bytes_read >= 64 * 1024
+
+
+def test_backing_file_requires_create():
+    cluster = MiniCluster(clients=1)
+    backing = BackingFile(cluster.clients[0].fs, "/swap/x")
+
+    def scenario():
+        with pytest.raises(RuntimeError):
+            yield from backing.page_out(4096)
+        return "ok"
+
+    assert cluster.run(scenario()) == "ok"
+
+
+def test_stream_export_import_unshared():
+    """Migrating the sole holder of a stream keeps it local/cacheable."""
+    cluster = MiniCluster(clients=2)
+    src = cluster.clients[0].fs
+    dst = cluster.clients[1].fs
+
+    def scenario():
+        stream = yield from src.open("/f", OpenMode.READ_WRITE | OpenMode.CREATE)
+        yield from src.write(stream, 8192)
+        state = yield from src.export_stream(stream, cluster.clients[1].address)
+        moved = yield from dst.import_stream(state)
+        # Offset carried over; not shared since only one holder.
+        assert moved.offset == 8192
+        assert state["shared"] is False
+        got = yield from dst.read(moved, 100)  # at EOF
+        yield from dst.seek(moved, 0)
+        got = yield from dst.read(moved, 4096)
+        yield from dst.close(moved)
+        return got
+
+    assert cluster.run(scenario()) == 4096
+
+
+def test_stream_export_flushes_dirty_blocks():
+    cluster = MiniCluster(clients=2)
+    src = cluster.clients[0].fs
+
+    def scenario():
+        stream = yield from src.open("/dirty", OpenMode.WRITE | OpenMode.CREATE)
+        yield from src.write(stream, 16384)
+        before = cluster.server.bytes_written
+        yield from src.export_stream(stream, cluster.clients[1].address)
+        return cluster.server.bytes_written - before
+
+    flushed = cluster.run(scenario())
+    assert flushed >= 16384
+
+
+def test_stream_shared_across_hosts_uses_server_offset():
+    """Fork + migrate: both hosts share one access position at the server."""
+    cluster = MiniCluster(clients=2)
+    src = cluster.clients[0].fs
+    dst = cluster.clients[1].fs
+
+    def scenario():
+        stream = yield from src.open("/shared", OpenMode.READ_WRITE | OpenMode.CREATE)
+        yield from src.write(stream, 100_000)
+        yield from src.seek(stream, 0)
+        # Simulate fork sharing: bump the refcount, then migrate one sharer.
+        stream.refcount += 1
+        state = yield from src.export_stream(stream, cluster.clients[1].address)
+        assert state["shared"] is True
+        assert stream.shared is True  # the local sharer flipped too
+        remote = yield from dst.import_stream(state)
+        assert remote.shared is True
+        # Reads through either side advance one shared offset.
+        a = yield from src.read(stream, 10_000)
+        b = yield from dst.read(remote, 10_000)
+        offset_after = yield from src.rpc.call(
+            stream.server,
+            "fs.offset",
+            __import__("repro.fs.protocol", fromlist=["OffsetOp"]).OffsetOp(
+                handle_id=stream.handle_id, stream_id=stream.stream_id
+            ),
+        )
+        return (a, b, offset_after)
+
+    a, b, offset = cluster.run(scenario())
+    assert a == 10_000 and b == 10_000
+    assert offset == 20_000
+
+
+def test_pdev_stream_export_keeps_master_reachable():
+    """A migrated pdev client keeps talking to the same master."""
+    cluster = MiniCluster(clients=2)
+    master_host = cluster.clients[0]
+    master = attach_pdev(cluster, master_host, "/dev/echo2")
+    spawn(cluster.sim, serve_echo(master)(), name="echo2", daemon=True)
+    src = cluster.clients[0].fs
+    dst = cluster.clients[1].fs
+
+    def scenario():
+        stream = yield from src.open("/dev/echo2", OpenMode.READ_WRITE)
+        first = yield from src.pdev_request(stream, 1)
+        state = yield from src.export_stream(stream, cluster.clients[1].address)
+        moved = yield from dst.import_stream(state)
+        second = yield from dst.pdev_request(moved, 2)
+        yield from dst.close(moved)
+        return (first, second)
+
+    assert cluster.run(scenario()) == (2, 4)

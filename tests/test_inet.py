@@ -1,0 +1,227 @@
+"""Tests for the Internet server: sockets, and their migration
+transparency (the [Che87] design the thesis relies on)."""
+
+import pytest
+
+from repro import SpriteCluster
+from repro.inet import InternetServer, SocketError, Sockets
+from repro.sim import Sleep, spawn
+
+
+def make_cluster(n=3):
+    cluster = SpriteCluster(workstations=n, start_daemons=False)
+    server = InternetServer(cluster.hosts[n - 1])
+    server.start()
+    return cluster, server
+
+
+def test_dgram_send_receive():
+    cluster, server = make_cluster(2)
+    a = cluster.hosts[0]
+
+    def receiver(proc):
+        net = Sockets(proc)
+        sock = yield from net.socket("dgram")
+        yield from net.bind(sock, 7000)
+        src, nbytes = yield from net.recvfrom(sock)
+        yield from net.close(sock)
+        return (src, nbytes)
+
+    def sender(proc):
+        net = Sockets(proc)
+        sock = yield from net.socket("dgram")
+        yield from net.bind(sock, 7001)
+        yield from proc.sleep(0.5)
+        yield from net.sendto(sock, 7000, 1500)
+        yield from net.close(sock)
+        return 0
+
+    recv_pcb, _ = a.spawn_process(receiver, name="recv")
+    a.spawn_process(sender, name="send")
+    src, nbytes = cluster.run_until_complete(recv_pcb.task)
+    assert (src, nbytes) == (7001, 1500)
+
+
+def test_stream_connect_accept_send_recv():
+    cluster, server = make_cluster(3)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def serve(proc):
+        net = Sockets(proc)
+        listener = yield from net.socket("stream")
+        yield from net.bind(listener, 80)
+        yield from net.listen(listener)
+        conn = yield from net.accept(listener)
+        total = 0
+        while True:
+            got = yield from net.recv(conn, 8192)
+            if got == 0:
+                break
+            total += got
+        yield from net.close(conn)
+        yield from net.close(listener)
+        return total
+
+    def client(proc):
+        net = Sockets(proc)
+        sock = yield from net.socket("stream")
+        yield from proc.sleep(0.5)   # let the server listen
+        yield from net.connect(sock, 80)
+        for _ in range(3):
+            yield from net.send(sock, 10_000)
+        yield from net.close(sock)
+        return 0
+
+    server_pcb, _ = a.spawn_process(serve, name="server")
+    b.spawn_process(client, name="client")
+    total = cluster.run_until_complete(server_pcb.task)
+    assert total == 30_000
+
+
+def test_connect_refused_without_listener():
+    cluster, _server = make_cluster(2)
+
+    def client(proc):
+        net = Sockets(proc)
+        sock = yield from net.socket("stream")
+        try:
+            yield from net.connect(sock, 9999)
+        except SocketError as err:
+            return f"refused: {err}"
+
+    result = cluster.run_process(cluster.hosts[0], client)
+    assert result.startswith("refused")
+
+
+def test_port_collision_rejected():
+    cluster, _server = make_cluster(2)
+
+    def binder(proc):
+        net = Sockets(proc)
+        first = yield from net.socket("dgram")
+        yield from net.bind(first, 500)
+        second = yield from net.socket("dgram")
+        try:
+            yield from net.bind(second, 500)
+        except SocketError:
+            return "in-use"
+
+    assert cluster.run_process(cluster.hosts[0], binder) == "in-use"
+
+
+def test_socket_conversation_survives_migration():
+    """The headline property: migrate one endpoint mid-conversation and
+    the byte stream continues unbroken."""
+    cluster, server = make_cluster(4)
+    a, b, c = cluster.hosts[0], cluster.hosts[1], cluster.hosts[2]
+    client_pcb_holder = []
+
+    def serve(proc):
+        net = Sockets(proc)
+        listener = yield from net.socket("stream")
+        yield from net.bind(listener, 80)
+        yield from net.listen(listener)
+        conn = yield from net.accept(listener)
+        total = 0
+        while True:
+            got = yield from net.recv(conn, 65_536)
+            if got == 0:
+                break
+            total += got
+        return total
+
+    def client(proc):
+        client_pcb_holder.append(proc.pcb)
+        net = Sockets(proc)
+        sock = yield from net.socket("stream")
+        yield from proc.sleep(0.5)
+        yield from net.connect(sock, 80)
+        for round_index in range(6):
+            yield from net.send(sock, 5_000)
+            yield from proc.compute(1.0)      # migration point
+        yield from net.close(sock)
+        return proc.pcb.current
+
+    server_pcb, _ = a.spawn_process(serve, name="server")
+    client_pcb, _ = b.spawn_process(client, name="client")
+
+    def driver():
+        yield Sleep(2.5)
+        victim = client_pcb_holder[0]
+        yield from cluster.managers[victim.current].migrate(victim, c.address)
+
+    spawn(cluster.sim, driver(), name="driver")
+    total = cluster.run_until_complete(server_pcb.task)
+    client_final = cluster.run_until_complete(client_pcb.task)
+    assert total == 30_000                 # nothing lost or duplicated
+    assert client_final == c.address       # and the client really moved
+
+
+def test_server_counts_traffic():
+    cluster, server = make_cluster(2)
+
+    def pair(proc):
+        net = Sockets(proc)
+        listener = yield from net.socket("stream")
+        yield from net.bind(listener, 81)
+        yield from net.listen(listener)
+
+        def child(cproc):
+            cnet = Sockets(cproc)
+            sock = yield from cnet.socket("stream")
+            yield from cnet.connect(sock, 81)
+            yield from cnet.send(sock, 2048)
+            yield from cnet.close(sock)
+            return 0
+
+        yield from proc.fork(child, name="peer")
+        conn = yield from net.accept(listener)
+        yield from net.recv(conn, 2048)
+        yield from proc.wait()
+        return 0
+
+    cluster.run_process(cluster.hosts[0], pair)
+    assert server.bytes_switched == 2048
+    assert server.requests_handled >= 7
+
+
+def test_dgram_sender_migrates_between_datagrams():
+    cluster, server = make_cluster(4)
+    a, b, c = cluster.hosts[0], cluster.hosts[1], cluster.hosts[2]
+    sender_pcb_holder = []
+
+    def receiver(proc):
+        net = Sockets(proc)
+        sock = yield from net.socket("dgram")
+        yield from net.bind(sock, 9000)
+        got = []
+        for _ in range(4):
+            src, nbytes = yield from net.recvfrom(sock)
+            got.append(nbytes)
+        return got
+
+    def sender(proc):
+        sender_pcb_holder.append(proc.pcb)
+        net = Sockets(proc)
+        sock = yield from net.socket("dgram")
+        yield from net.bind(sock, 9001)
+        yield from proc.sleep(0.5)
+        for i in range(4):
+            yield from net.sendto(sock, 9000, 1000 + i)
+            yield from proc.compute(1.0)
+        yield from net.close(sock)
+        return proc.pcb.current
+
+    recv_pcb, _ = a.spawn_process(receiver, name="recv")
+    send_pcb, _ = b.spawn_process(sender, name="send")
+
+    def driver():
+        yield Sleep(2.0)
+        victim = sender_pcb_holder[0]
+        yield from cluster.managers[victim.current].migrate(victim, c.address)
+
+    spawn(cluster.sim, driver(), name="driver")
+    got = cluster.run_until_complete(recv_pcb.task)
+    where = cluster.run_until_complete(send_pcb.task)
+    assert got == [1000, 1001, 1002, 1003]
+    assert where == c.address

@@ -1,0 +1,103 @@
+"""Pure state-machine unit tests for the Internet server and pipes."""
+
+import pytest
+
+from repro import SpriteCluster
+from repro.fs.pipes import PipeService, _PipeState
+from repro.inet import InternetServer, SocketError
+from repro.inet.server import _BLOCKED
+
+
+def make_ip_server():
+    cluster = SpriteCluster(workstations=1, start_daemons=False)
+    return InternetServer(cluster.hosts[0])
+
+
+def test_socket_ids_unique():
+    server = make_ip_server()
+    a = server._dispatch({"op": "socket", "kind": "dgram"})
+    b = server._dispatch({"op": "socket", "kind": "stream"})
+    assert a != b
+
+
+def test_bind_and_port_conflict():
+    server = make_ip_server()
+    a = server._dispatch({"op": "socket", "kind": "dgram"})
+    server._dispatch({"op": "bind", "sock": a, "port": 42})
+    b = server._dispatch({"op": "socket", "kind": "dgram"})
+    with pytest.raises(SocketError, match="in use"):
+        server._dispatch({"op": "bind", "sock": b, "port": 42})
+
+
+def test_sendto_queues_datagram():
+    server = make_ip_server()
+    rx = server._dispatch({"op": "socket", "kind": "dgram"})
+    server._dispatch({"op": "bind", "sock": rx, "port": 1})
+    tx = server._dispatch({"op": "socket", "kind": "dgram"})
+    server._dispatch({"op": "bind", "sock": tx, "port": 2})
+    server._dispatch({"op": "sendto", "sock": tx, "port": 1, "nbytes": 99})
+    reply = server._dispatch({"op": "recvfrom", "sock": rx})
+    assert reply == {"from": 2, "nbytes": 99}
+
+
+def test_recv_blocks_until_data():
+    server = make_ip_server()
+    listener = server._dispatch({"op": "socket", "kind": "stream"})
+    server._dispatch({"op": "bind", "sock": listener, "port": 1})
+    server._dispatch({"op": "listen", "sock": listener})
+    client = server._dispatch({"op": "socket", "kind": "stream"})
+    server._dispatch({"op": "connect", "sock": client, "port": 1})
+    conn = server._dispatch({"op": "accept", "sock": listener})
+    assert server._dispatch({"op": "recv", "sock": conn, "nbytes": 10}) is _BLOCKED
+    server._dispatch({"op": "send", "sock": client, "nbytes": 25})
+    assert server._dispatch({"op": "recv", "sock": conn, "nbytes": 10}) == 10
+    assert server._dispatch({"op": "recv", "sock": conn, "nbytes": 100}) == 15
+
+
+def test_recv_after_peer_close_is_eof():
+    server = make_ip_server()
+    listener = server._dispatch({"op": "socket", "kind": "stream"})
+    server._dispatch({"op": "bind", "sock": listener, "port": 1})
+    server._dispatch({"op": "listen", "sock": listener})
+    client = server._dispatch({"op": "socket", "kind": "stream"})
+    server._dispatch({"op": "connect", "sock": client, "port": 1})
+    conn = server._dispatch({"op": "accept", "sock": listener})
+    server._dispatch({"op": "close", "sock": client})
+    assert server._dispatch({"op": "recv", "sock": conn, "nbytes": 10}) == 0
+
+
+def test_close_releases_port():
+    server = make_ip_server()
+    sock = server._dispatch({"op": "socket", "kind": "dgram"})
+    server._dispatch({"op": "bind", "sock": sock, "port": 7})
+    server._dispatch({"op": "close", "sock": sock})
+    fresh = server._dispatch({"op": "socket", "kind": "dgram"})
+    assert server._dispatch({"op": "bind", "sock": fresh, "port": 7}) == 7
+
+
+def test_operations_on_closed_socket_rejected():
+    server = make_ip_server()
+    sock = server._dispatch({"op": "socket", "kind": "dgram"})
+    server._dispatch({"op": "close", "sock": sock})
+    with pytest.raises(SocketError):
+        server._dispatch({"op": "bind", "sock": sock, "port": 9})
+
+
+def test_connect_to_non_listening_socket_refused():
+    server = make_ip_server()
+    bound = server._dispatch({"op": "socket", "kind": "stream"})
+    server._dispatch({"op": "bind", "sock": bound, "port": 5})
+    client = server._dispatch({"op": "socket", "kind": "stream"})
+    with pytest.raises(SocketError, match="refused"):
+        server._dispatch({"op": "connect", "sock": client, "port": 5})
+
+
+# ----------------------------------------------------------------------
+# Pipe refcounting (server side)
+# ----------------------------------------------------------------------
+def test_pipe_state_refcounts():
+    state = _PipeState(pipe_id=1)
+    assert state.read_refs == 1 and state.write_refs == 1
+    state.read_refs += 1     # a split reference after migration
+    state.read_refs -= 1
+    assert not state.read_closed

@@ -1,0 +1,344 @@
+"""Tests for the model kernel: processes, families, signals, calls."""
+
+import pytest
+
+from repro import SpriteCluster
+from repro.fs import OpenMode
+from repro.kernel import ProcState, signals as sig
+
+
+def make_cluster(n=3, **kwargs):
+    return SpriteCluster(workstations=n, start_daemons=False, **kwargs)
+
+
+def test_process_runs_and_returns():
+    cluster = make_cluster()
+
+    def job(proc):
+        yield from proc.compute(2.0)
+        return 7
+
+    result = cluster.run_process(cluster.hosts[0], job, name="job")
+    assert result == 7
+    assert cluster.sim.now >= 2.0
+
+
+def test_pid_encodes_home_host():
+    from repro.kernel import home_of_pid
+
+    cluster = make_cluster()
+    host = cluster.hosts[1]
+
+    def job(proc):
+        pid = yield from proc.getpid()
+        return pid
+
+    pid = cluster.run_process(host, job)
+    assert home_of_pid(pid) == host.address
+
+
+def test_cpu_time_accounted():
+    cluster = make_cluster()
+    host = cluster.hosts[0]
+
+    def job(proc):
+        yield from proc.compute(1.5)
+        usage = yield from proc.getrusage()
+        return usage["cpu_time"]
+
+    cpu_time = cluster.run_process(host, job)
+    assert cpu_time == pytest.approx(1.5, abs=0.05)
+
+
+def test_two_processes_share_host_cpu():
+    cluster = make_cluster()
+    host = cluster.hosts[0]
+    finish = {}
+
+    def job(proc, label):
+        yield from proc.compute(1.0)
+        finish[label] = proc.now
+        return 0
+
+    pcb_a, _ = host.spawn_process(job, "a", name="a")
+    pcb_b, _ = host.spawn_process(job, "b", name="b")
+    cluster.run_until_complete(pcb_a.task)
+    cluster.run_until_complete(pcb_b.task)
+    assert finish["a"] == pytest.approx(2.0, rel=0.1)
+    assert finish["b"] == pytest.approx(2.0, rel=0.1)
+
+
+def test_fork_and_wait():
+    cluster = make_cluster()
+    host = cluster.hosts[0]
+
+    def child(proc, amount):
+        yield from proc.compute(amount)
+        yield from proc.exit(42)
+
+    def parent(proc):
+        yield from proc.fork(child, 0.5, name="kid")
+        status = yield from proc.wait()
+        return status.code
+
+    assert cluster.run_process(host, parent) == 42
+
+
+def test_wait_with_no_children_raises():
+    from repro.kernel import NoSuchProcess
+
+    cluster = make_cluster()
+
+    def lonely(proc):
+        try:
+            yield from proc.wait()
+        except NoSuchProcess:
+            return "no-children"
+
+    assert cluster.run_process(cluster.hosts[0], lonely) == "no-children"
+
+
+def test_wait_all_collects_every_child():
+    cluster = make_cluster()
+
+    def child(proc, code):
+        yield from proc.compute(0.1 * code)
+        yield from proc.exit(code)
+
+    def parent(proc):
+        for code in (1, 2, 3):
+            yield from proc.fork(child, code, name=f"kid{code}")
+        statuses = yield from proc.wait_all()
+        return sorted(s.code for s in statuses)
+
+    assert cluster.run_process(cluster.hosts[0], parent) == [1, 2, 3]
+
+
+def test_exec_replaces_program():
+    cluster = make_cluster()
+    cluster.add_image("/bin/other", 64 * 1024)
+
+    def second(proc, token):
+        yield from proc.compute(0.1)
+        return token
+
+    def first(proc):
+        yield from proc.exec(second, "swapped", image_path="/bin/other")
+        raise AssertionError("unreachable after exec")
+
+    assert cluster.run_process(cluster.hosts[0], first) == "swapped"
+
+
+def test_exec_charges_image_read_through_cache():
+    cluster = make_cluster()
+    cluster.add_image("/bin/tool", 512 * 1024)
+    host = cluster.hosts[0]
+
+    def target(proc):
+        return 0
+        yield  # pragma: no cover
+
+    def runner(proc):
+        yield from proc.exec(target, image_path="/bin/tool")
+
+    cluster.run_process(host, runner)
+    first_bytes = cluster.file_server.bytes_read
+    cluster.run_process(host, runner)
+    # Second exec of the same image hits the client cache.
+    assert cluster.file_server.bytes_read == first_bytes
+    assert first_bytes >= 512 * 1024
+
+
+def test_exit_code_via_kill():
+    cluster = make_cluster()
+    host = cluster.hosts[0]
+
+    def victim(proc):
+        yield from proc.compute(100.0)
+
+    def killer(proc, victim_pid):
+        yield from proc.compute(0.2)
+        yield from proc.kill(victim_pid, sig.SIGTERM)
+        return 0
+
+    victim_pcb, _ = host.spawn_process(victim, name="victim")
+    killer_pcb, _ = host.spawn_process(killer, victim_pcb.pid, name="killer")
+    code = cluster.run_until_complete(victim_pcb.task)
+    assert code == 128 + sig.SIGTERM
+    assert killer_pcb is not None
+
+
+def test_caught_signal_does_not_kill():
+    cluster = make_cluster()
+    host = cluster.hosts[0]
+
+    def tough(proc):
+        proc.catch_signal(sig.SIGUSR1)
+        yield from proc.compute(1.0)
+        return proc.signals_seen()
+
+    def sender(proc, pid):
+        yield from proc.compute(0.3)
+        yield from proc.kill(pid, sig.SIGUSR1)
+
+    tough_pcb, _ = host.spawn_process(tough, name="tough")
+    host.spawn_process(sender, tough_pcb.pid, name="sender")
+    seen = cluster.run_until_complete(tough_pcb.task)
+    assert seen == [sig.SIGUSR1]
+
+
+def test_sigkill_cannot_be_caught():
+    cluster = make_cluster()
+    host = cluster.hosts[0]
+
+    def immortal(proc):
+        proc.catch_signal(sig.SIGKILL)
+        yield from proc.compute(100.0)
+
+    def assassin(proc, pid):
+        yield from proc.compute(0.1)
+        yield from proc.kill(pid, sig.SIGKILL)
+
+    target_pcb, _ = host.spawn_process(immortal, name="immortal")
+    host.spawn_process(assassin, target_pcb.pid, name="assassin")
+    code = cluster.run_until_complete(target_pcb.task)
+    assert code == 128 + sig.SIGKILL
+
+
+def test_signal_to_dead_process_is_noop():
+    cluster = make_cluster()
+    host = cluster.hosts[0]
+
+    def quick(proc):
+        yield from proc.compute(0.1)
+
+    def necromancer(proc, pid):
+        yield from proc.compute(1.0)
+        yield from proc.kill(pid, sig.SIGTERM)  # already a zombie
+        return "ok"
+
+    quick_pcb, _ = host.spawn_process(quick, name="quick")
+    necro_pcb, _ = host.spawn_process(necromancer, quick_pcb.pid)
+    assert cluster.run_until_complete(necro_pcb.task) == "ok"
+
+
+def test_cross_host_kill_routed_via_home():
+    cluster = make_cluster()
+    host_a, host_b = cluster.hosts[0], cluster.hosts[1]
+
+    def victim(proc):
+        yield from proc.compute(100.0)
+
+    def killer(proc, pid):
+        yield from proc.compute(0.2)
+        yield from proc.kill(pid, sig.SIGTERM)
+
+    victim_pcb, _ = host_a.spawn_process(victim, name="victim")
+    host_b.spawn_process(killer, victim_pcb.pid, name="killer")
+    code = cluster.run_until_complete(victim_pcb.task)
+    assert code == 128 + sig.SIGTERM
+
+
+def test_gethostname_and_time_at_home():
+    cluster = make_cluster()
+    host = cluster.hosts[2]
+
+    def job(proc):
+        name = yield from proc.gethostname()
+        time_now = yield from proc.gettimeofday()
+        return (name, time_now)
+
+    name, time_now = cluster.run_process(host, job)
+    assert name == host.name
+    assert time_now > 0
+
+
+def test_file_io_from_process():
+    cluster = make_cluster()
+
+    def writer(proc):
+        fd = yield from proc.open("/out.dat", OpenMode.WRITE | OpenMode.CREATE)
+        yield from proc.write(fd, 8192)
+        yield from proc.close(fd)
+        info = yield from proc.stat("/out.dat")
+        return info["size"]
+
+    assert cluster.run_process(cluster.hosts[0], writer) == 8192
+
+
+def test_cwd_relative_paths():
+    cluster = make_cluster()
+    cluster.add_file("/home/me/notes.txt", size=100)
+
+    def job(proc):
+        yield from proc.chdir("/home/me")
+        info = yield from proc.stat("notes.txt")
+        return info["size"]
+
+    assert cluster.run_process(cluster.hosts[0], job) == 100
+
+
+def test_ps_lists_running_processes():
+    cluster = make_cluster()
+    host = cluster.hosts[0]
+
+    def busy(proc):
+        yield from proc.compute(10.0)
+
+    def observer(proc):
+        yield from proc.compute(0.1)
+        listing = yield from proc.ps()
+        return [entry["name"] for entry in listing]
+
+    host.spawn_process(busy, name="busy-one")
+    obs_pcb, _ = host.spawn_process(observer, name="observer")
+    names = cluster.run_until_complete(obs_pcb.task)
+    assert "busy-one" in names
+    assert "observer" in names
+
+
+def test_zombie_state_until_reaped():
+    cluster = make_cluster()
+    host = cluster.hosts[0]
+
+    def child(proc):
+        yield from proc.compute(0.1)
+        yield from proc.exit(5)
+
+    def parent(proc):
+        child_pid = yield from proc.fork(child, name="kid")
+        yield from proc.compute(1.0)
+        state_before = host.kernel.procs[child_pid].state
+        status = yield from proc.wait()
+        state_after = host.kernel.procs[child_pid].state
+        return (state_before, status.code, state_after)
+
+    before, code, after = cluster.run_process(host, parent)
+    assert before == ProcState.ZOMBIE
+    assert code == 5
+    assert after == ProcState.DEAD
+
+
+def test_load_average_rises_under_load():
+    cluster = make_cluster()
+    host = cluster.hosts[0]
+
+    def burner(proc):
+        yield from proc.compute(30.0)
+
+    host.spawn_process(burner, name="burner")
+    host.loadavg.value = 0.0
+    cluster.run(until=20.0)
+    for _ in range(20):
+        host.loadavg.sample()
+    assert host.loadavg.value > 0.1
+
+
+def test_host_availability_criterion():
+    cluster = make_cluster()
+    host = cluster.hosts[0]
+    host.loadavg.value = 0.0
+    cluster.run(until=60.0)
+    assert host.is_available()
+    host.user_input()
+    assert not host.is_available()

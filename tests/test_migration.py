@@ -1,0 +1,530 @@
+"""Tests for the migration mechanism: transparency, policies, eviction."""
+
+import pytest
+
+from repro import SpriteCluster
+from repro.fs import OpenMode
+from repro.kernel import ProcState, signals as sig
+from repro.migration import MigrationRefused
+from repro.sim import Sleep
+
+
+def make_cluster(n=3, **kwargs):
+    return SpriteCluster(workstations=n, start_daemons=False, **kwargs)
+
+
+def migrate_driver(cluster, pcb, target_host, reason="manual", out=None):
+    """A task that migrates ``pcb`` to ``target_host`` after a beat."""
+    manager = cluster.managers[pcb.current]
+
+    def driver():
+        yield Sleep(0.5)
+        record = yield from manager.migrate(pcb, target_host.address, reason=reason)
+        if out is not None:
+            out.append(record)
+
+    return driver()
+
+
+def test_migrated_process_finishes_on_target():
+    cluster = make_cluster()
+    src, dst = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(3.0)
+        return proc.pcb.current
+
+    pcb, _ = src.spawn_process(job, name="job")
+    records = []
+    from repro.sim import spawn
+
+    spawn(cluster.sim, migrate_driver(cluster, pcb, dst, out=records), name="driver")
+    final_host = cluster.run_until_complete(pcb.task)
+    assert final_host == dst.address
+    assert len(records) == 1
+    assert records[0].freeze_time > 0
+    assert records[0].pid == pcb.pid
+
+
+def test_cpu_charged_on_target_after_migration():
+    cluster = make_cluster()
+    src, dst = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(4.0)
+
+    pcb, _ = src.spawn_process(job, name="job")
+    from repro.sim import spawn
+
+    spawn(cluster.sim, migrate_driver(cluster, pcb, dst), name="driver")
+    cluster.run_until_complete(pcb.task)
+    # ~0.5s ran at the source; the remaining ~3.5s at the target.
+    assert src.cpu.total_demand == pytest.approx(0.5, abs=0.3)
+    assert dst.cpu.total_demand >= 3.0
+
+
+def test_transparency_gethostname_reports_home():
+    cluster = make_cluster()
+    src, dst = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(2.0)
+        name = yield from proc.gethostname()
+        return (name, proc.pcb.current)
+
+    pcb, _ = src.spawn_process(job, name="job")
+    from repro.sim import spawn
+
+    spawn(cluster.sim, migrate_driver(cluster, pcb, dst), name="driver")
+    name, where = cluster.run_until_complete(pcb.task)
+    assert where == dst.address      # physically on the target...
+    assert name == src.name          # ...but transparently "at home"
+
+
+def test_forwarded_calls_counted():
+    cluster = make_cluster()
+    src, dst = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(1.0)
+        for _ in range(5):
+            yield from proc.gettimeofday()
+        return 0
+
+    pcb, _ = src.spawn_process(job, name="job")
+    from repro.sim import spawn
+
+    spawn(cluster.sim, migrate_driver(cluster, pcb, dst), name="driver")
+    cluster.run_until_complete(pcb.task)
+    assert dst.kernel.calls_forwarded_home >= 5
+
+
+def test_home_ps_shows_migrated_shadow():
+    cluster = make_cluster()
+    src, dst = cluster.hosts[0], cluster.hosts[1]
+    snapshots = {}
+
+    def job(proc):
+        yield from proc.compute(3.0)
+
+    def observer(proc, pid):
+        yield from proc.compute(1.5)
+        listing = yield from proc.ps()
+        snapshots["home"] = {
+            entry["pid"]: entry["state"] for entry in listing
+        }.get(pid)
+        return 0
+
+    pcb, _ = src.spawn_process(job, name="job")
+    obs_pcb, _ = src.spawn_process(observer, pcb.pid, name="obs")
+    from repro.sim import spawn
+
+    spawn(cluster.sim, migrate_driver(cluster, pcb, dst), name="driver")
+    cluster.run_until_complete(pcb.task)
+    cluster.run_until_complete(obs_pcb.task)
+    assert snapshots["home"] == "migrated"
+
+
+def test_open_file_survives_migration_with_offset():
+    cluster = make_cluster()
+    src, dst = cluster.hosts[0], cluster.hosts[1]
+    cluster.add_file("/data", size=1_000_000)
+
+    def job(proc):
+        fd = yield from proc.open("/data", OpenMode.READ)
+        yield from proc.read(fd, 100_000)
+        yield from proc.compute(2.0)      # migration happens here
+        more = yield from proc.read(fd, 100_000)
+        offset = proc.pcb.stream(fd).offset
+        yield from proc.close(fd)
+        return (more, offset)
+
+    pcb, _ = src.spawn_process(job, name="job")
+    from repro.sim import spawn
+
+    spawn(cluster.sim, migrate_driver(cluster, pcb, dst), name="driver")
+    more, offset = cluster.run_until_complete(pcb.task)
+    assert more == 100_000
+    assert offset == 200_000
+
+
+def test_dirty_file_blocks_flushed_at_migration():
+    cluster = make_cluster()
+    src, dst = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        fd = yield from proc.open("/wlog", OpenMode.WRITE | OpenMode.CREATE)
+        yield from proc.write(fd, 64 * 1024)
+        yield from proc.compute(2.0)      # migration here
+        yield from proc.write(fd, 4096)
+        yield from proc.close(fd)
+        return 0
+
+    pcb, _ = src.spawn_process(job, name="job")
+    from repro.sim import spawn
+
+    spawn(cluster.sim, migrate_driver(cluster, pcb, dst), name="driver")
+    cluster.run_until_complete(pcb.task)
+    # The 64 KB written before migration was flushed to the server.
+    assert cluster.file_server.bytes_written >= 64 * 1024
+
+
+def test_remote_fork_and_wait():
+    cluster = make_cluster()
+    src, dst = cluster.hosts[0], cluster.hosts[1]
+
+    def child(proc):
+        yield from proc.compute(0.3)
+        yield from proc.exit(9)
+
+    def parent(proc):
+        yield from proc.compute(2.0)      # migrates mid-way
+        child_pid = yield from proc.fork(child, name="kid")
+        status = yield from proc.wait()
+        return (child_pid, status.code, proc.pcb.current)
+
+    pcb, _ = src.spawn_process(parent, name="parent")
+    from repro.sim import spawn
+    from repro.kernel import home_of_pid
+
+    spawn(cluster.sim, migrate_driver(cluster, pcb, dst), name="driver")
+    child_pid, code, where = cluster.run_until_complete(pcb.task)
+    assert code == 9
+    assert where == dst.address
+    # Child's pid was allocated by the parent's home kernel.
+    assert home_of_pid(child_pid) == src.address
+
+
+def test_signal_routed_to_migrated_process():
+    cluster = make_cluster()
+    src, dst, other = cluster.hosts[0], cluster.hosts[1], cluster.hosts[2]
+
+    def victim(proc):
+        yield from proc.compute(50.0)
+
+    def killer(proc, pid):
+        yield from proc.compute(3.0)     # after the victim has migrated
+        yield from proc.kill(pid, sig.SIGTERM)
+
+    pcb, _ = src.spawn_process(victim, name="victim")
+    other.spawn_process(killer, pcb.pid, name="killer")
+    from repro.sim import spawn
+
+    spawn(cluster.sim, migrate_driver(cluster, pcb, dst), name="driver")
+    code = cluster.run_until_complete(pcb.task)
+    assert code == 128 + sig.SIGTERM
+    assert pcb.current == dst.address
+
+
+def test_double_migration_updates_home():
+    cluster = make_cluster()
+    a, b, c = cluster.hosts[0], cluster.hosts[1], cluster.hosts[2]
+
+    def job(proc):
+        yield from proc.compute(6.0)
+        return proc.pcb.current
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.5)
+        yield from cluster.managers[a.address].migrate(pcb, b.address)
+        yield Sleep(2.0)
+        yield from cluster.managers[b.address].migrate(pcb, c.address)
+
+    from repro.sim import spawn
+
+    spawn(cluster.sim, driver(), name="driver")
+    final = cluster.run_until_complete(pcb.task)
+    assert final == c.address
+    # Home shadow tracked the second hop.
+    shadow = a.kernel.procs[pcb.pid]
+    # By completion the process exited; the shadow became a zombie with
+    # the exit recorded from host c.
+    assert shadow.exit_status.exit_host == c.address
+    # No residual state on the intermediate host.
+    assert pcb.pid not in b.kernel.procs
+
+
+def test_migrate_back_home_clears_shadow():
+    cluster = make_cluster()
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(4.0)
+        return proc.pcb.current
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.5)
+        yield from cluster.managers[a.address].migrate(pcb, b.address)
+        yield Sleep(1.0)
+        yield from cluster.managers[b.address].migrate(pcb, a.address, reason="eviction")
+
+    from repro.sim import spawn
+
+    spawn(cluster.sim, driver(), name="driver")
+    final = cluster.run_until_complete(pcb.task)
+    assert final == a.address
+    entry = a.kernel.procs[pcb.pid]
+    assert entry is pcb  # resident object back home, shadow replaced
+    assert pcb.pid not in b.kernel.procs
+
+
+def test_version_mismatch_refused():
+    """A1 ablation: kernels advertising different migration versions
+    refuse to migrate rather than corrupt state (thesis §4.5)."""
+    cluster = make_cluster()
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    # Host b runs an "older kernel": its negotiate answers with the old
+    # version number, which the protocol rejects.
+    manager_b = cluster.managers[b.address]
+    old_version = cluster.params.migration_version - 1
+
+    def old_negotiate(args):
+        if args["version"] != old_version:
+            return {
+                "accept": False,
+                "why": f"migration version mismatch: theirs {args['version']}, ours {old_version}",
+            }
+        return {"accept": True}
+        yield  # pragma: no cover
+
+    manager_b.host.rpc.register("mig.negotiate", old_negotiate)
+
+    def job(proc):
+        yield from proc.compute(2.0)
+        return 0
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.2)
+        try:
+            yield from cluster.managers[a.address].migrate(pcb, b.address)
+        except MigrationRefused as refusal:
+            return f"refused: {refusal}"
+        return "accepted"
+
+    from repro.sim import spawn
+
+    driver_task = spawn(cluster.sim, driver(), name="driver")
+    cluster.run_until_complete(pcb.task)
+    assert driver_task.result.startswith("refused")
+    assert "version mismatch" in driver_task.result
+    refusals = [r for r in cluster.migration_records() if r.refused]
+    assert len(refusals) == 1
+
+
+def test_accept_hook_can_refuse_foreign_work():
+    cluster = make_cluster()
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    cluster.managers[b.address].accept_hook = lambda args: False
+
+    def job(proc):
+        yield from proc.compute(1.0)
+        return 0
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.2)
+        try:
+            yield from cluster.managers[a.address].migrate(pcb, b.address)
+        except MigrationRefused:
+            return "refused"
+
+    from repro.sim import spawn
+
+    driver_task = spawn(cluster.sim, driver(), name="driver")
+    cluster.run_until_complete(pcb.task)
+    assert driver_task.result == "refused"
+
+
+def test_home_always_accepts_eviction_despite_hook():
+    cluster = make_cluster()
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    # Even with a refuse-everything hook, home must accept its own.
+    cluster.managers[a.address].accept_hook = lambda args: False
+
+    def job(proc):
+        yield from proc.compute(4.0)
+        return proc.pcb.current
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.2)
+        yield from cluster.managers[a.address].migrate(pcb, b.address)
+        yield Sleep(1.0)
+        yield from cluster.managers[b.address].migrate(pcb, a.address, reason="eviction")
+
+    from repro.sim import spawn
+
+    spawn(cluster.sim, driver(), name="driver")
+    assert cluster.run_until_complete(pcb.task) == a.address
+
+
+def test_shared_writable_memory_not_migratable():
+    cluster = make_cluster()
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(2.0)
+
+    pcb, _ = a.spawn_process(job, name="job")
+    pcb.vm.shared_writable = True
+
+    def driver():
+        yield Sleep(0.2)
+        try:
+            yield from cluster.managers[a.address].migrate(pcb, b.address)
+        except MigrationRefused:
+            return "refused"
+
+    from repro.sim import spawn
+
+    driver_task = spawn(cluster.sim, driver(), name="driver")
+    cluster.run_until_complete(pcb.task)
+    assert driver_task.result == "refused"
+
+
+def test_exec_time_migration_skips_vm():
+    cluster = make_cluster()
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    cluster.standard_images()
+
+    def remote_main(proc, token):
+        yield from proc.compute(0.5)
+        return (token, proc.pcb.current)
+
+    def launcher(proc):
+        yield from proc.use_memory(4 * 1024 * 1024)   # big image, then exec
+        yield from proc.exec(
+            remote_main, "hello", host=b.address, image_path="/bin/sim"
+        )
+
+    pcb, _ = a.spawn_process(launcher, name="launcher")
+    token, where = cluster.run_until_complete(pcb.task)
+    assert token == "hello"
+    assert where == b.address
+    records = cluster.migration_records()
+    assert len(records) == 1
+    assert records[0].reason == "exec"
+    assert records[0].vm is None  # no VM moved
+
+
+def test_eviction_sends_foreign_work_home():
+    cluster = make_cluster()
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    evictor_b = cluster.evictors[1]
+    from repro.sim import spawn
+
+    def job(proc):
+        yield from proc.compute(10.0)
+        return proc.pcb.current
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.5)
+        yield from cluster.managers[a.address].migrate(pcb, b.address)
+
+    def user_returns():
+        yield Sleep(3.0)
+        b.user_input()
+        event = yield from evictor_b.evict_now()
+        return event
+
+    spawn(cluster.sim, driver(), name="driver")
+    evict_task = spawn(cluster.sim, user_returns(), name="evict")
+    final = cluster.run_until_complete(pcb.task)
+    assert final == a.address   # finished back at home
+    event = evict_task.result
+    assert event.victims == 1
+    assert event.reclaim_seconds >= 0
+
+
+def test_eviction_daemon_triggers_on_user_input():
+    cluster = SpriteCluster(workstations=2, start_daemons=True)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    from repro.sim import spawn
+
+    def job(proc):
+        yield from proc.compute(30.0)
+        return proc.pcb.current
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.5)
+        yield from cluster.managers[a.address].migrate(pcb, b.address)
+        yield Sleep(5.0)
+        b.user_input()   # the daemon notices within its poll period
+
+    spawn(cluster.sim, driver(), name="driver")
+    final = cluster.run_until_complete(pcb.task)
+    assert final == a.address
+    assert len(cluster.evictors[1].events) == 1
+
+
+def test_migration_record_stream_count():
+    cluster = make_cluster()
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    for i in range(4):
+        cluster.add_file(f"/in{i}", size=1024)
+
+    def job(proc):
+        fds = []
+        for i in range(4):
+            fd = yield from proc.open(f"/in{i}", OpenMode.READ)
+            fds.append(fd)
+        yield from proc.compute(2.0)
+        for fd in fds:
+            yield from proc.close(fd)
+        return 0
+
+    pcb, _ = a.spawn_process(job, name="job")
+    records = []
+    from repro.sim import spawn
+
+    spawn(cluster.sim, migrate_driver(cluster, pcb, b, out=records), name="driver")
+    cluster.run_until_complete(pcb.task)
+    assert records[0].streams_moved == 4
+
+
+def test_kill_during_freeze_delivered_after_resume():
+    """A signal arriving while the process is frozen waits for the
+    transfer and kills it on the target (Sprite queues signals for
+    migrating processes)."""
+    cluster = make_cluster(2)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.use_memory(4 * 1024 * 1024)
+        yield from proc.dirty_memory(4 * 1024 * 1024)   # slow freeze
+        yield from proc.compute(60.0)
+        return proc.pcb.current
+
+    pcb, _ = a.spawn_process(job, name="victim")
+    from repro.kernel import signals as ksig
+
+    def driver():
+        yield Sleep(0.5)
+        yield from cluster.managers[a.address].migrate(pcb, b.address)
+
+    def killer():
+        # Mid-freeze: the 4 MB flush takes seconds.
+        yield Sleep(1.5)
+        assert pcb.migration_ticket is not None or pcb.current == b.address
+        pcb.pending_signals.append(ksig.SIGTERM)
+
+    from repro.sim import spawn as sim_spawn
+
+    sim_spawn(cluster.sim, driver(), name="driver")
+    sim_spawn(cluster.sim, killer(), name="killer")
+    code = cluster.run_until_complete(pcb.task)
+    assert code == 128 + ksig.SIGTERM
+    # It died *after* installation on the target.
+    assert pcb.current == b.address

@@ -1,0 +1,312 @@
+"""Unit tests for the LAN model and RPC layer."""
+
+import pytest
+
+from repro.config import ClusterParams
+from repro.net import HostDownError, Lan, NetNode, Packet, Reply, RpcPort, RpcTimeout
+from repro.sim import Cpu, Simulator, Sleep, spawn
+
+
+def make_lan(sim, **overrides):
+    params = ClusterParams().clone(**overrides)
+    return Lan(sim, params=params)
+
+
+def make_node(sim, lan, name):
+    node = NetNode(sim, name)
+    lan.register(node)
+    return node
+
+
+def test_send_delivers_packet_with_latency():
+    sim = Simulator()
+    lan = make_lan(sim, net_latency=0.001, net_bandwidth=1_000_000)
+    a = make_node(sim, lan, "a")
+    b = make_node(sim, lan, "b")
+
+    def sender():
+        yield from lan.send(Packet(a.address, b.address, "ping", "hi", size=1000))
+
+    def receiver():
+        packet = yield b.inbox.get()
+        return (sim.now, packet.payload)
+
+    spawn(sim, sender())
+    task = spawn(sim, receiver())
+    sim.run()
+    arrival, payload = task.result
+    assert payload == "hi"
+    # 1000 bytes / 1e6 B/s + 1 ms latency = 2 ms.
+    assert arrival == pytest.approx(0.002)
+
+
+def test_send_to_down_host_raises():
+    sim = Simulator()
+    lan = make_lan(sim)
+    a = make_node(sim, lan, "a")
+    b = make_node(sim, lan, "b")
+    b.up = False
+
+    def sender():
+        try:
+            yield from lan.send(Packet(a.address, b.address, "ping", None, 100))
+        except HostDownError:
+            return "down"
+
+    task = spawn(sim, sender())
+    sim.run()
+    assert task.result == "down"
+
+
+def test_shared_medium_serializes_transfers():
+    sim = Simulator()
+    lan = make_lan(sim, net_latency=0.0, net_bandwidth=1_000_000)
+    a = make_node(sim, lan, "a")
+    b = make_node(sim, lan, "b")
+    done = {}
+
+    def mover(label):
+        yield from lan.transfer(a.address, b.address, 1_000_000)
+        done[label] = sim.now
+
+    spawn(sim, mover("x"))
+    spawn(sim, mover("y"))
+    sim.run()
+    assert done["x"] == pytest.approx(1.0)
+    assert done["y"] == pytest.approx(2.0)
+
+
+def test_unshared_medium_overlaps_transfers():
+    sim = Simulator()
+    lan = make_lan(sim, net_latency=0.0, net_bandwidth=1_000_000,
+                   net_shared_medium=False)
+    a = make_node(sim, lan, "a")
+    b = make_node(sim, lan, "b")
+    done = {}
+
+    def mover(label):
+        yield from lan.transfer(a.address, b.address, 1_000_000)
+        done[label] = sim.now
+
+    spawn(sim, mover("x"))
+    spawn(sim, mover("y"))
+    sim.run()
+    assert done["x"] == pytest.approx(1.0)
+    assert done["y"] == pytest.approx(1.0)
+
+
+def test_broadcast_reaches_all_up_nodes_except_sender():
+    sim = Simulator()
+    lan = make_lan(sim)
+    nodes = [make_node(sim, lan, f"n{i}") for i in range(4)]
+    nodes[2].up = False
+
+    def sender():
+        yield from lan.broadcast(
+            Packet(nodes[0].address, 0, "query", "who-is-idle", 100)
+        )
+
+    spawn(sim, sender())
+    sim.run_until_idle()
+    assert len(nodes[0].inbox) == 0
+    assert len(nodes[1].inbox) == 1
+    assert len(nodes[2].inbox) == 0  # down
+    assert len(nodes[3].inbox) == 1
+
+
+def test_lan_accounts_traffic():
+    sim = Simulator()
+    lan = make_lan(sim)
+    a = make_node(sim, lan, "a")
+    b = make_node(sim, lan, "b")
+
+    def mover():
+        yield from lan.transfer(a.address, b.address, 5000)
+
+    spawn(sim, mover())
+    sim.run()
+    assert lan.bytes_sent == 5000
+    assert lan.messages_sent == 1
+
+
+class _Endpoints:
+    """Two hosts with CPUs and RPC ports, for RPC tests."""
+
+    def __init__(self, sim, **overrides):
+        self.lan = make_lan(sim, **overrides)
+        self.params = self.lan.params
+        self.client_node = make_node(sim, self.lan, "client")
+        self.server_node = make_node(sim, self.lan, "server")
+        self.client_cpu = Cpu(sim, name="client-cpu")
+        self.server_cpu = Cpu(sim, name="server-cpu")
+        self.client = RpcPort(sim, self.lan, self.client_node, cpu=self.client_cpu)
+        self.server = RpcPort(sim, self.lan, self.server_node, cpu=self.server_cpu)
+
+
+def test_rpc_round_trip():
+    sim = Simulator()
+    endpoints = _Endpoints(sim)
+
+    def echo(args):
+        return args * 2
+        yield  # pragma: no cover - makes this a generator
+
+    endpoints.server.register("echo", echo)
+
+    def caller():
+        result = yield from endpoints.client.call(
+            endpoints.server_node.address, "echo", 21
+        )
+        return (result, sim.now)
+
+    task = spawn(sim, caller())
+    sim.run_until_idle()
+    result, elapsed = task.result
+    assert result == 42
+    # Null RPC should land in the low single-digit milliseconds.
+    assert 0.001 < elapsed < 0.01
+
+
+def test_rpc_handler_can_sleep_and_consume_cpu():
+    sim = Simulator()
+    endpoints = _Endpoints(sim)
+
+    def slow(args):
+        yield Sleep(0.5)
+        yield from endpoints.server_cpu.consume(0.1)
+        return "done"
+
+    endpoints.server.register("slow", slow)
+
+    def caller():
+        result = yield from endpoints.client.call(
+            endpoints.server_node.address, "slow", timeout=10.0
+        )
+        return (result, sim.now)
+
+    task = spawn(sim, caller())
+    sim.run_until_idle()
+    result, elapsed = task.result
+    assert result == "done"
+    assert elapsed > 0.6
+
+
+def test_rpc_unknown_service_raises_at_caller():
+    sim = Simulator()
+    endpoints = _Endpoints(sim)
+
+    def caller():
+        try:
+            yield from endpoints.client.call(
+                endpoints.server_node.address, "missing"
+            )
+        except Exception as err:  # noqa: BLE001
+            return type(err).__name__
+
+    task = spawn(sim, caller())
+    sim.run_until_idle()
+    assert task.result == "RpcError"
+
+
+def test_rpc_remote_exception_propagates():
+    sim = Simulator()
+    endpoints = _Endpoints(sim)
+
+    def bad(args):
+        raise KeyError("nope")
+        yield  # pragma: no cover
+
+    endpoints.server.register("bad", bad)
+
+    def caller():
+        try:
+            yield from endpoints.client.call(endpoints.server_node.address, "bad")
+        except KeyError as err:
+            return f"caught {err}"
+
+    task = spawn(sim, caller())
+    sim.run_until_idle()
+    assert task.result == "caught 'nope'"
+
+
+def test_rpc_to_down_host_times_out():
+    sim = Simulator()
+    endpoints = _Endpoints(sim, rpc_timeout=0.5, rpc_retries=1)
+    endpoints.server_node.up = False
+
+    def caller():
+        try:
+            yield from endpoints.client.call(endpoints.server_node.address, "echo")
+        except RpcTimeout:
+            return ("timeout", sim.now)
+
+    task = spawn(sim, caller())
+    sim.run_until_idle()
+    assert task.result[0] == "timeout"
+
+
+def test_rpc_reply_wrapper_controls_size():
+    sim = Simulator()
+    endpoints = _Endpoints(sim, net_latency=0.0, net_bandwidth=1000.0)
+
+    def bulky(args):
+        return Reply("data", size=1000)
+        yield  # pragma: no cover
+
+    endpoints.server.register("bulky", bulky)
+
+    def caller():
+        start = sim.now
+        result = yield from endpoints.client.call(
+            endpoints.server_node.address, "bulky", size=1, timeout=30.0
+        )
+        return (result, sim.now - start)
+
+    task = spawn(sim, caller())
+    sim.run_until_idle()
+    result, elapsed = task.result
+    assert result == "data"
+    # 1000-byte reply at 1000 B/s dominates: ~1 s.
+    assert elapsed > 0.9
+
+
+def test_rpc_fallback_receives_non_rpc_packets():
+    sim = Simulator()
+    endpoints = _Endpoints(sim)
+    seen = []
+    endpoints.server.fallback = lambda packet: seen.append(packet.kind)
+
+    def sender():
+        yield from endpoints.lan.send(
+            Packet(
+                endpoints.client_node.address,
+                endpoints.server_node.address,
+                "idle-query",
+                None,
+                64,
+            )
+        )
+
+    spawn(sim, sender())
+    sim.run_until_idle()
+    assert seen == ["idle-query"]
+
+
+def test_rpc_server_counts_calls():
+    sim = Simulator()
+    endpoints = _Endpoints(sim)
+
+    def noop(args):
+        return None
+        yield  # pragma: no cover
+
+    endpoints.server.register("noop", noop)
+
+    def caller():
+        for _ in range(3):
+            yield from endpoints.client.call(endpoints.server_node.address, "noop")
+
+    spawn(sim, caller())
+    sim.run_until_idle()
+    assert endpoints.client.calls_made == 3
+    assert endpoints.server.calls_served == 3

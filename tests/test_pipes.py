@@ -1,0 +1,176 @@
+"""Tests for pipes: blocking semantics and migration transparency."""
+
+import pytest
+
+from repro import SpriteCluster
+from repro.fs import PIPE_BUFFER_BYTES
+from repro.sim import Sleep, spawn
+
+
+def make_cluster(n=3):
+    return SpriteCluster(workstations=n, start_daemons=False)
+
+
+def test_pipe_basic_transfer():
+    cluster = make_cluster(1)
+    host = cluster.hosts[0]
+
+    def parent(proc):
+        read_fd, write_fd = yield from proc.pipe()
+
+        def child(cproc):
+            got = yield from cproc.read(read_fd, 1000)
+            yield from cproc.exit(got)
+
+        yield from proc.fork(child, name="reader")
+        yield from proc.write(write_fd, 1000)
+        status = yield from proc.wait()
+        yield from proc.close(read_fd)
+        yield from proc.close(write_fd)
+        return status.code
+
+    assert cluster.run_process(host, parent) == 1000
+
+
+def test_pipe_read_blocks_until_write():
+    cluster = make_cluster(1)
+    host = cluster.hosts[0]
+    times = {}
+
+    def parent(proc):
+        read_fd, write_fd = yield from proc.pipe()
+
+        def reader(cproc):
+            got = yield from cproc.read(read_fd, 100)
+            times["read_done"] = cproc.now
+            yield from cproc.exit(got)
+
+        yield from proc.fork(reader, name="reader")
+        yield from proc.sleep(3.0)
+        yield from proc.write(write_fd, 100)
+        status = yield from proc.wait()
+        return status.code
+
+    assert cluster.run_process(host, parent) == 100
+    assert times["read_done"] >= 3.0
+
+
+def test_pipe_writer_blocks_when_full():
+    cluster = make_cluster(1)
+    host = cluster.hosts[0]
+
+    def parent(proc):
+        read_fd, write_fd = yield from proc.pipe()
+
+        def writer(cproc):
+            # Two buffers' worth: must block until the reader drains.
+            yield from cproc.write(write_fd, 2 * PIPE_BUFFER_BYTES)
+            yield from cproc.exit(0)
+
+        yield from proc.fork(writer, name="writer")
+        yield from proc.sleep(2.0)
+        drained = 0
+        while drained < 2 * PIPE_BUFFER_BYTES:
+            drained += yield from proc.read(read_fd, PIPE_BUFFER_BYTES)
+        status = yield from proc.wait()
+        return (status.code, proc.now)
+
+    code, finished = cluster.run_process(host, parent)
+    assert code == 0
+    assert finished >= 2.0   # the writer had to wait for the drain
+
+
+def test_pipe_eof_when_writer_closes():
+    cluster = make_cluster(1)
+    host = cluster.hosts[0]
+
+    def parent(proc):
+        read_fd, write_fd = yield from proc.pipe()
+        yield from proc.write(write_fd, 500)
+        yield from proc.close(write_fd)
+        first = yield from proc.read(read_fd, 1000)
+        second = yield from proc.read(read_fd, 1000)   # EOF, not a hang
+        yield from proc.close(read_fd)
+        return (first, second)
+
+    assert cluster.run_process(host, parent) == (500, 0)
+
+
+def test_pipe_broken_when_reader_closes():
+    cluster = make_cluster(1)
+    host = cluster.hosts[0]
+
+    def parent(proc):
+        read_fd, write_fd = yield from proc.pipe()
+        yield from proc.close(read_fd)
+        try:
+            yield from proc.write(write_fd, 2 * PIPE_BUFFER_BYTES)
+        except BrokenPipeError:
+            yield from proc.close(write_fd)
+            return "epipe"
+
+    assert cluster.run_process(host, parent) == "epipe"
+
+
+def test_pipe_survives_migration_of_reader():
+    """The thesis's IPC transparency claim: migrate one endpoint of an
+    active pipe and the conversation continues unbroken."""
+    cluster = make_cluster(3)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    reader_pcb_holder = []
+
+    def parent(proc):
+        read_fd, write_fd = yield from proc.pipe()
+
+        def reader(cproc):
+            reader_pcb_holder.append(cproc.pcb)
+            total = 0
+            rounds = 0
+            while total < 40_000:
+                got = yield from cproc.read(read_fd, 10_000)
+                total += got
+                rounds += 1
+                if rounds % 3 == 0:
+                    yield from cproc.compute(0.5)   # migration point
+            yield from cproc.exit(0 if total == 40_000 else 1)
+
+        yield from proc.fork(reader, name="reader")
+        for _ in range(4):
+            yield from proc.write(write_fd, 10_000)
+            yield from proc.sleep(1.5)
+        status = yield from proc.wait()
+        return (status.code, reader_pcb_holder[0].current)
+
+    pcb, _ = a.spawn_process(parent, name="parent")
+
+    def driver():
+        yield Sleep(2.0)
+        victim = reader_pcb_holder[0]
+        yield from cluster.managers[victim.current].migrate(victim, b.address)
+
+    spawn(cluster.sim, driver(), name="driver")
+    code, reader_final = cluster.run_until_complete(pcb.task)
+    assert code == 0                   # all 40 KB arrived despite the move
+    assert reader_final == b.address   # and the reader really moved
+
+
+def test_pipe_shared_by_fork_closes_cleanly():
+    cluster = make_cluster(1)
+    host = cluster.hosts[0]
+
+    def parent(proc):
+        read_fd, write_fd = yield from proc.pipe()
+
+        def child(cproc):
+            yield from cproc.write(write_fd, 100)
+            yield from cproc.close(write_fd)   # child's reference
+            yield from cproc.exit(0)
+
+        yield from proc.fork(child, name="child")
+        got = yield from proc.read(read_fd, 100)
+        yield from proc.wait()
+        yield from proc.close(write_fd)        # parent's reference
+        yield from proc.close(read_fd)
+        return got
+
+    assert cluster.run_process(host, parent) == 100

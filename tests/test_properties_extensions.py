@@ -1,0 +1,85 @@
+"""Property-based tests for the extension components."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import LatencyHistogram
+from repro.sim import Simulator, Sleep, all_of, spawn
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=3600.0),
+                min_size=1, max_size=200))
+def test_histogram_percentiles_monotone_and_bounded(samples):
+    hist = LatencyHistogram()
+    hist.extend(samples)
+    p50, p95, p99 = (hist.percentile(q) for q in (50, 95, 99))
+    assert p50 <= p95 <= p99 <= hist.max_value
+    assert hist.count == len(samples)
+    assert hist.mean == pytest.approx(float(np.mean(samples)), rel=1e-6)
+    # A geometric-bucket percentile overestimates by at most one bucket.
+    assert p50 <= max(samples)
+    assert p99 >= float(np.percentile(samples, 50)) / hist.factor
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=100.0),
+                min_size=1, max_size=50),
+       st.lists(st.floats(min_value=1e-6, max_value=100.0),
+                min_size=1, max_size=50))
+def test_histogram_merge_equals_combined(first_samples, second_samples):
+    merged = LatencyHistogram()
+    merged.extend(first_samples)
+    other = LatencyHistogram()
+    other.extend(second_samples)
+    merged.merge(other)
+    combined = LatencyHistogram()
+    combined.extend(first_samples + second_samples)
+    assert merged.count == combined.count
+    assert merged.percentile(95) == combined.percentile(95)
+    assert merged.max_value == combined.max_value
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=20.0),
+                min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_all_of_completes_at_slowest(durations):
+    sim = Simulator()
+
+    def waiter():
+        yield all_of(*(Sleep(d) for d in durations))
+        return sim.now
+
+    task = spawn(sim, waiter())
+    sim.run()
+    assert task.result == pytest.approx(max(durations), rel=1e-9)
+
+
+@given(st.integers(min_value=1, max_value=6), st.data())
+@settings(max_examples=15, deadline=None)
+def test_caching_selector_never_double_grants(rounds, data):
+    """Interleaved request/release through the cache never hands the
+    same host to two outstanding grants."""
+    from repro import SpriteCluster
+    from repro.loadsharing import CachingSelector, LoadSharingService
+    from repro.sim import run_until_complete
+
+    cluster = SpriteCluster(workstations=5, start_daemons=True)
+    service = LoadSharingService(cluster, architecture="centralized")
+    cluster.run(until=45.0)
+    selector = CachingSelector(service.selector_for(cluster.hosts[0]), ttl=5.0)
+    sizes = [data.draw(st.integers(min_value=1, max_value=3))
+             for _ in range(rounds)]
+
+    def scenario():
+        outstanding = set()
+        for size in sizes:
+            granted = yield from selector.request(size)
+            for address in granted:
+                assert address not in outstanding, "double grant!"
+                outstanding.add(address)
+            yield Sleep(1.0)
+            yield from selector.release(granted)
+            outstanding -= set(granted)
+        return True
+
+    assert run_until_complete(cluster.sim, scenario(), name="s") is True

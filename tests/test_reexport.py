@@ -1,0 +1,94 @@
+"""Tests for re-exporting evicted processes to fresh idle hosts."""
+
+import pytest
+
+from repro import SpriteCluster
+from repro.loadsharing import LoadSharingService, ReExporter
+from repro.sim import Sleep, spawn
+
+
+def build(n=4):
+    cluster = SpriteCluster(workstations=n, start_daemons=True)
+    service = LoadSharingService(cluster, architecture="centralized")
+    reexporter = ReExporter(cluster, service)
+    cluster.standard_images()
+    cluster.run(until=45.0)
+    return cluster, service, reexporter
+
+
+def test_evicted_process_lands_on_third_host():
+    cluster, service, reexporter = build(4)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(60.0)
+        return proc.pcb.current
+
+    pcb, _ = a.spawn_process(job, name="job")
+    selector = service.selector_for(a)
+
+    def driver():
+        granted = yield from selector.request(1)
+        assert granted
+        yield from cluster.managers[a.address].migrate(pcb, granted[0])
+        yield Sleep(5.0)
+        # Owner of the granted host returns: eviction, then re-export.
+        cluster.host_by_address(granted[0]).user_input()
+        return granted[0]
+
+    driver_task = spawn(cluster.sim, driver(), name="driver")
+    final = cluster.run_until_complete(pcb.task)
+    first_target = driver_task.result
+    assert reexporter.reexported == 1
+    # It finished neither at home nor on the reclaimed host.
+    assert final not in (a.address, first_target)
+    reasons = [r.reason for r in cluster.migration_records() if not r.refused]
+    assert reasons.count("eviction") == 1
+    assert reasons.count("re-export") == 1
+
+
+def test_reexport_stays_home_when_cluster_busy():
+    cluster, service, reexporter = build(2)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(30.0)
+        return proc.pcb.current
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.5)
+        yield from cluster.managers[a.address].migrate(pcb, b.address)
+        yield Sleep(3.0)
+        b.user_input()   # only other host reclaimed: nowhere to go
+
+    spawn(cluster.sim, driver(), name="driver", daemon=True)
+    final = cluster.run_until_complete(pcb.task)
+    assert final == a.address       # finished at home
+    assert reexporter.reexported == 0
+
+
+def test_reexport_excludes_the_reclaimed_host():
+    cluster, service, reexporter = build(3)
+    a = cluster.hosts[0]
+
+    def job(proc):
+        yield from proc.compute(40.0)
+        return proc.pcb.current
+
+    pcb, _ = a.spawn_process(job, name="job")
+    selector = service.selector_for(a)
+    reclaimed = []
+
+    def driver():
+        granted = yield from selector.request(1)
+        yield from cluster.managers[a.address].migrate(pcb, granted[0])
+        yield Sleep(3.0)
+        reclaimed.append(granted[0])
+        cluster.host_by_address(granted[0]).user_input()
+
+    spawn(cluster.sim, driver(), name="driver", daemon=True)
+    final = cluster.run_until_complete(pcb.task)
+    if reexporter.reexported:
+        assert final != reclaimed[0]

@@ -1,0 +1,55 @@
+"""Tests for the reproduction-report assembler."""
+
+import pathlib
+
+import pytest
+
+from repro.report import EXPERIMENT_ORDER, collect_report
+
+
+def test_report_includes_present_artifacts(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "E1_migration_breakdown.txt").write_text("E1 TABLE CONTENT")
+    (results / "E5_pmake_speedup.txt").write_text("E5 FIGURE CONTENT")
+    text = collect_report(results, stamp="TEST")
+    assert "E1 TABLE CONTENT" in text
+    assert "E5 FIGURE CONTENT" in text
+    assert "Generated TEST" in text
+
+
+def test_report_lists_missing_artifacts(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    text = collect_report(results, stamp="TEST")
+    assert "Missing artifacts" in text
+    for name, _summary in EXPERIMENT_ORDER:
+        assert name in text
+
+
+def test_report_surfaces_unindexed_artifacts(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "X9_custom.txt").write_text("CUSTOM")
+    text = collect_report(results, stamp="TEST")
+    assert "X9_custom (unindexed artifact)" in text
+    assert "CUSTOM" in text
+
+
+def test_report_writes_output_file(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "E1_migration_breakdown.txt").write_text("CONTENT")
+    out = tmp_path / "report.md"
+    collect_report(results, output=out, stamp="TEST")
+    assert out.read_text().startswith("# Reproduction report")
+
+
+def test_report_order_matches_results_dir():
+    """Every archived artifact from a real bench run is indexed."""
+    results = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+    if not results.is_dir():
+        pytest.skip("benchmarks not yet run")
+    indexed = {name for name, _ in EXPERIMENT_ORDER}
+    actual = {p.stem for p in results.glob("*.txt")}
+    assert actual <= indexed, f"unindexed artifacts: {actual - indexed}"

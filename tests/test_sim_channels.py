@@ -1,0 +1,165 @@
+"""Unit tests for FIFO channels."""
+
+import pytest
+
+from repro.sim import Channel, ChannelClosed, Simulator, Sleep, spawn
+
+
+def test_put_then_get():
+    sim = Simulator()
+    ch = Channel(sim)
+
+    def producer():
+        yield ch.put("hello")
+
+    def consumer():
+        item = yield ch.get()
+        return item
+
+    spawn(sim, producer())
+    task = spawn(sim, consumer())
+    sim.run()
+    assert task.result == "hello"
+
+
+def test_get_blocks_until_put():
+    sim = Simulator()
+    ch = Channel(sim)
+
+    def consumer():
+        item = yield ch.get()
+        return (sim.now, item)
+
+    def producer():
+        yield Sleep(4.0)
+        yield ch.put("late")
+
+    task = spawn(sim, consumer())
+    spawn(sim, producer())
+    sim.run()
+    assert task.result == (4.0, "late")
+
+
+def test_fifo_ordering_of_items_and_getters():
+    sim = Simulator()
+    ch = Channel(sim)
+    received = []
+
+    def consumer(label):
+        item = yield ch.get()
+        received.append((label, item))
+
+    def producer():
+        for i in range(3):
+            yield ch.put(i)
+
+    spawn(sim, consumer("a"))
+    spawn(sim, consumer("b"))
+    spawn(sim, consumer("c"))
+    spawn(sim, producer())
+    sim.run()
+    assert received == [("a", 0), ("b", 1), ("c", 2)]
+
+
+def test_bounded_channel_blocks_putter():
+    sim = Simulator()
+    ch = Channel(sim, capacity=1)
+    times = []
+
+    def producer():
+        yield ch.put("x")
+        times.append(("put-x", sim.now))
+        yield ch.put("y")
+        times.append(("put-y", sim.now))
+
+    def consumer():
+        yield Sleep(5.0)
+        item = yield ch.get()
+        times.append(("got", item, sim.now))
+
+    spawn(sim, producer())
+    spawn(sim, consumer())
+    sim.run()
+    assert ("put-x", 0.0) in times
+    put_y_time = [t for t in times if t[0] == "put-y"][0][1]
+    assert put_y_time == 5.0
+
+
+def test_try_put_and_try_get():
+    sim = Simulator()
+    ch = Channel(sim, capacity=1)
+    assert ch.try_put("a") is True
+    assert ch.try_put("b") is False
+    ok, item = ch.try_get()
+    assert ok and item == "a"
+    ok, item = ch.try_get()
+    assert not ok
+
+
+def test_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Channel(sim, capacity=0)
+
+
+def test_close_wakes_blocked_getter():
+    sim = Simulator()
+    ch = Channel(sim)
+
+    def consumer():
+        try:
+            yield ch.get()
+        except ChannelClosed:
+            return "closed"
+
+    task = spawn(sim, consumer())
+    sim.schedule(1.0, ch.close)
+    sim.run()
+    assert task.result == "closed"
+
+
+def test_close_drains_buffered_items_first():
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.try_put(1)
+    ch.try_put(2)
+    ch.close()
+
+    def consumer():
+        got = []
+        got.append((yield ch.get()))
+        got.append((yield ch.get()))
+        try:
+            yield ch.get()
+        except ChannelClosed:
+            got.append("closed")
+        return got
+
+    task = spawn(sim, consumer())
+    sim.run()
+    assert task.result == [1, 2, "closed"]
+
+
+def test_put_to_closed_channel_raises():
+    sim = Simulator()
+    ch = Channel(sim)
+    ch.close()
+
+    def producer():
+        try:
+            yield ch.put("x")
+        except ChannelClosed:
+            return "refused"
+
+    task = spawn(sim, producer())
+    sim.run()
+    assert task.result == "refused"
+
+
+def test_len_reflects_buffered_items():
+    sim = Simulator()
+    ch = Channel(sim)
+    assert len(ch) == 0
+    ch.try_put("a")
+    ch.try_put("b")
+    assert len(ch) == 2

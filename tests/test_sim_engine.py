@@ -1,0 +1,157 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationDeadlock, SimEvent, Sleep, spawn
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(1.0, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_cancelled_event_is_skipped():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(2.0, fired.append, "y")
+    handle.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.5, lambda: None)
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: sim.schedule_at(5.0, fired.append, "later"))
+    sim.run()
+    assert fired == ["later"]
+    assert sim.now == 5.0
+
+
+def test_call_soon_runs_after_pending_same_time_events():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "first")
+
+    def at_one():
+        sim.call_soon(order.append, "soon")
+
+    sim.schedule(1.0, at_one)
+    sim.schedule(1.0, order.append, "second")
+    sim.run()
+    assert order == ["first", "second", "soon"]
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+
+    def stuck(sim):
+        yield SimEvent(sim, "never").wait()
+
+    spawn(sim, stuck(sim), name="stuck")
+    with pytest.raises(SimulationDeadlock):
+        sim.run()
+
+
+def test_run_until_tolerates_blocked_tasks():
+    sim = Simulator()
+
+    def stuck(sim):
+        yield SimEvent(sim, "never").wait()
+
+    spawn(sim, stuck(sim), name="stuck")
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_pending_events_counts_uncancelled():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    gone = sim.schedule(2.0, lambda: None)
+    gone.cancel()
+    assert sim.pending_events == 1
+    assert keep is not None
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    sim.schedule(1.0, reenter)
+    sim.run()
+
+
+def test_sleep_zero_allowed():
+    sim = Simulator()
+    done = []
+
+    def napper():
+        yield Sleep(0.0)
+        done.append(sim.now)
+
+    spawn(sim, napper())
+    sim.run()
+    assert done == [0.0]
+
+
+def test_detached_task_failure_surfaces_in_run():
+    sim = Simulator()
+
+    def bomb():
+        yield Sleep(1.0)
+        raise ValueError("boom")
+
+    spawn(sim, bomb(), name="bomb")
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()

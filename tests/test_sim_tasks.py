@@ -1,0 +1,368 @@
+"""Unit tests for tasks, events, joins, interrupts, and races."""
+
+import pytest
+
+from repro.sim import (
+    TIMED_OUT,
+    Interrupted,
+    SimEvent,
+    Simulator,
+    Sleep,
+    TaskFailed,
+    first,
+    spawn,
+    with_timeout,
+)
+
+
+def test_task_returns_result():
+    sim = Simulator()
+
+    def job():
+        yield Sleep(2.0)
+        return 42
+
+    task = spawn(sim, job())
+    sim.run()
+    assert task.done
+    assert task.result == 42
+    assert sim.now == 2.0
+
+
+def test_spawn_requires_generator():
+    sim = Simulator()
+
+    def not_a_gen():
+        return 1
+
+    with pytest.raises(TypeError, match="generator"):
+        spawn(sim, not_a_gen)  # type: ignore[arg-type]
+
+
+def test_yield_from_composition():
+    sim = Simulator()
+
+    def inner():
+        yield Sleep(1.0)
+        return "inner-result"
+
+    def outer():
+        value = yield from inner()
+        yield Sleep(1.0)
+        return value + "!"
+
+    task = spawn(sim, outer())
+    sim.run()
+    assert task.result == "inner-result!"
+    assert sim.now == 2.0
+
+
+def test_join_waits_for_completion():
+    sim = Simulator()
+
+    def worker():
+        yield Sleep(3.0)
+        return "payload"
+
+    def boss(worker_task):
+        value = yield worker_task.join()
+        return (sim.now, value)
+
+    worker_task = spawn(sim, worker())
+    boss_task = spawn(sim, boss(worker_task))
+    sim.run()
+    assert boss_task.result == (3.0, "payload")
+
+
+def test_join_already_finished_task():
+    sim = Simulator()
+
+    def quick():
+        yield Sleep(1.0)
+        return "done"
+
+    quick_task = spawn(sim, quick())
+
+    def late_joiner():
+        yield Sleep(10.0)
+        value = yield quick_task.join()
+        return value
+
+    late = spawn(sim, late_joiner())
+    sim.run()
+    assert late.result == "done"
+
+
+def test_join_failed_task_raises_taskfailed():
+    sim = Simulator()
+
+    def bomb():
+        yield Sleep(1.0)
+        raise RuntimeError("kaboom")
+
+    def joiner(bomb_task):
+        with pytest.raises(TaskFailed) as exc_info:
+            yield bomb_task.join()
+        return str(exc_info.value.original)
+
+    bomb_task = spawn(sim, bomb(), name="bomb")
+    joiner_task = spawn(sim, joiner(bomb_task))
+    sim.run()
+    assert joiner_task.result == "kaboom"
+
+
+def test_event_trigger_wakes_all_waiters():
+    sim = Simulator()
+    event = SimEvent(sim, "go")
+    woken = []
+
+    def waiter(label):
+        value = yield event.wait()
+        woken.append((label, value, sim.now))
+
+    spawn(sim, waiter("a"))
+    spawn(sim, waiter("b"))
+    sim.schedule(5.0, event.trigger, "green")
+    sim.run()
+    assert sorted(woken) == [("a", "green", 5.0), ("b", "green", 5.0)]
+
+
+def test_event_wait_after_trigger_resumes_immediately():
+    sim = Simulator()
+    event = SimEvent(sim)
+    event.trigger(7)
+
+    def waiter():
+        value = yield event.wait()
+        return (sim.now, value)
+
+    task = spawn(sim, waiter())
+    sim.run()
+    assert task.result == (0.0, 7)
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = SimEvent(sim)
+    event.trigger()
+    with pytest.raises(Exception, match="twice"):
+        event.trigger()
+
+
+def test_event_fail_propagates_to_waiters():
+    sim = Simulator()
+    event = SimEvent(sim)
+
+    def waiter():
+        try:
+            yield event.wait()
+        except RuntimeError as err:
+            return f"caught {err}"
+
+    task = spawn(sim, waiter())
+    sim.schedule(1.0, event.fail, RuntimeError("nope"))
+    sim.run()
+    assert task.result == "caught nope"
+
+
+def test_interrupt_cancels_sleep():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield Sleep(100.0)
+        except Interrupted as intr:
+            return ("interrupted", intr.cause, sim.now)
+
+    task = spawn(sim, sleeper())
+    sim.schedule(2.0, task.interrupt, "wake-up")
+    sim.run()
+    assert task.result == ("interrupted", "wake-up", 2.0)
+
+
+def test_uncaught_interrupt_kills_task_quietly():
+    sim = Simulator()
+
+    def sleeper():
+        yield Sleep(100.0)
+
+    task = spawn(sim, sleeper())
+    sim.schedule(1.0, task.interrupt, "die")
+    sim.run()
+    assert task.done
+    assert task.exception is None
+    assert task.result == "die"
+
+
+def test_interrupt_finished_task_returns_false():
+    sim = Simulator()
+
+    def quick():
+        yield Sleep(1.0)
+
+    task = spawn(sim, quick())
+    sim.run()
+    assert task.interrupt("late") is False
+
+
+def test_joiner_of_interrupted_task_gets_cause():
+    sim = Simulator()
+
+    def sleeper():
+        yield Sleep(100.0)
+
+    def joiner(target):
+        value = yield target.join()
+        return value
+
+    sleeper_task = spawn(sim, sleeper())
+    joiner_task = spawn(sim, joiner(sleeper_task))
+    sim.schedule(1.0, sleeper_task.interrupt, "evicted")
+    sim.run()
+    assert joiner_task.result == "evicted"
+
+
+def test_first_returns_winner_and_cancels_losers():
+    sim = Simulator()
+    event = SimEvent(sim)
+
+    def racer():
+        index, value = yield first(Sleep(10.0), event.wait())
+        return (index, value, sim.now)
+
+    task = spawn(sim, racer())
+    sim.schedule(3.0, event.trigger, "evt")
+    sim.run()
+    assert task.result == (1, "evt", 3.0)
+    # The losing sleep was cancelled: clock should not advance to 10.
+    assert sim.now == 3.0
+
+
+def test_first_sleep_wins():
+    sim = Simulator()
+    event = SimEvent(sim)
+
+    def racer():
+        index, value = yield first(Sleep(1.0), event.wait())
+        return index
+
+    task = spawn(sim, racer())
+    sim.run(until=5.0)
+    assert task.result == 0
+
+
+def test_with_timeout_returns_value_when_fast():
+    sim = Simulator()
+    event = SimEvent(sim)
+
+    def waiter():
+        value = yield from with_timeout(event.wait(), timeout=10.0)
+        return value
+
+    task = spawn(sim, waiter())
+    sim.schedule(1.0, event.trigger, "fast")
+    sim.run()
+    assert task.result == "fast"
+
+
+def test_with_timeout_returns_sentinel_when_slow():
+    sim = Simulator()
+    event = SimEvent(sim)
+
+    def waiter():
+        value = yield from with_timeout(event.wait(), timeout=2.0)
+        return value is TIMED_OUT
+
+    task = spawn(sim, waiter())
+    sim.run(until=100.0)
+    assert task.result is True
+
+
+def test_yielding_non_effect_fails_task():
+    sim = Simulator()
+
+    def bad():
+        yield 42  # type: ignore[misc]
+
+    spawn(sim, bad(), name="bad")
+    with pytest.raises(TypeError, match="not an Effect"):
+        sim.run()
+
+
+def test_self_interrupt_delivered_at_next_suspension():
+    sim = Simulator()
+
+    def selfish(task_ref):
+        yield Sleep(1.0)
+        # interrupt self while running: pending flag set, delivered at
+        # the next yield below.
+        task_ref[0].interrupt("self")
+        try:
+            yield Sleep(5.0)
+        except Interrupted as intr:
+            return intr.cause
+
+    holder = [None]
+    task = spawn(sim, selfish(holder))
+    holder[0] = task
+    sim.run()
+    assert task.result == "self"
+
+
+def test_many_tasks_complete_deterministically():
+    sim = Simulator()
+    finish_order = []
+
+    def job(i):
+        yield Sleep(float(i % 7) + 1.0)
+        finish_order.append(i)
+
+    for i in range(50):
+        spawn(sim, job(i))
+    sim.run()
+    assert len(finish_order) == 50
+    # Same delay -> FIFO by spawn order.
+    expected = sorted(range(50), key=lambda i: (i % 7, i))
+    assert finish_order == expected
+
+
+def test_first_of_all_of_composition():
+    """Combinators nest: race a gather against a deadline."""
+    from repro.sim import all_of
+
+    sim = Simulator()
+    fast_a, fast_b = SimEvent(sim), SimEvent(sim)
+
+    def racer():
+        index, value = yield first(
+            all_of(fast_a.wait(), fast_b.wait()),
+            Sleep(10.0),
+        )
+        return (index, value, sim.now)
+
+    task = spawn(sim, racer())
+    sim.schedule(1.0, fast_a.trigger, "a")
+    sim.schedule(2.0, fast_b.trigger, "b")
+    sim.run(until=20.0)
+    index, value, when = task.result
+    assert index == 0
+    assert value == ["a", "b"]
+    assert when == 2.0
+
+
+def test_first_of_all_of_deadline_wins():
+    from repro.sim import all_of
+
+    sim = Simulator()
+    never = SimEvent(sim)
+
+    def racer():
+        index, _value = yield first(
+            all_of(never.wait(), Sleep(1.0)),
+            Sleep(3.0),
+        )
+        return (index, sim.now)
+
+    task = spawn(sim, racer())
+    sim.run(until=10.0)
+    assert task.result == (1, 3.0)

@@ -1,0 +1,190 @@
+"""Stateful invariants under randomized migration injection.
+
+The strongest correctness claim in the thesis is that migration is
+*invisible*: whatever a process computes, it computes the same with
+migrations injected at arbitrary points.  These tests run I/O-heavy
+programs while a chaos driver migrates them at random times between
+random hosts, and assert the results are byte-identical to the
+undisturbed run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SpriteCluster
+from repro.fs import OpenMode
+from repro.migration import MigrationRefused
+from repro.sim import Sleep, spawn
+
+
+def chaos_driver(cluster, pcb, seed, period=0.7):
+    """Migrate ``pcb`` to a random other host every ~period seconds."""
+    rng = np.random.default_rng(seed)
+
+    def driver():
+        while pcb.alive and not pcb.task.done:
+            yield Sleep(float(rng.uniform(0.3, period * 2)))
+            if pcb.task.done:
+                return
+            candidates = [
+                h.address for h in cluster.hosts if h.address != pcb.current
+            ]
+            target = int(rng.choice(candidates))
+            manager = cluster.managers.get(pcb.current)
+            if manager is None:
+                continue
+            try:
+                yield from manager.migrate(pcb, target, reason="chaos")
+            except MigrationRefused:
+                continue
+
+    return driver()
+
+
+def sequential_reader(proc, path, total, chunk):
+    fd = yield from proc.open(path, OpenMode.READ)
+    got = 0
+    while True:
+        n = yield from proc.read(fd, chunk)
+        if n == 0:
+            break
+        got += n
+        yield from proc.compute(0.2)
+    yield from proc.close(fd)
+    return got
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_file_read_identical_under_chaos_migration(seed):
+    total = 400_000
+    chunk = 32_768
+    cluster = SpriteCluster(workstations=4, start_daemons=False, seed=seed)
+    cluster.add_file("/big", size=total)
+    pcb, _ = cluster.hosts[0].spawn_process(
+        sequential_reader, "/big", total, chunk, name="reader"
+    )
+    spawn(cluster.sim, chaos_driver(cluster, pcb, seed), name="chaos", daemon=True)
+    got = cluster.run_until_complete(pcb.task)
+    assert got == total
+    moved = [r for r in cluster.migration_records() if not r.refused]
+    assert moved, "chaos driver never managed a migration"
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_writer_under_chaos_produces_exact_file(seed):
+    cluster = SpriteCluster(workstations=4, start_daemons=False, seed=seed)
+
+    def writer(proc):
+        fd = yield from proc.open("/out", OpenMode.WRITE | OpenMode.CREATE)
+        for _ in range(12):
+            yield from proc.write(fd, 8192)
+            yield from proc.compute(0.3)
+        yield from proc.close(fd)
+        info = yield from proc.stat("/out")
+        return info["size"]
+
+    pcb, _ = cluster.hosts[0].spawn_process(writer, name="writer")
+    spawn(cluster.sim, chaos_driver(cluster, pcb, seed), name="chaos", daemon=True)
+    size = cluster.run_until_complete(pcb.task)
+    assert size == 12 * 8192
+
+
+def test_family_tree_consistent_under_chaos():
+    """Forks, waits, and exit codes survive arbitrary parent migration."""
+    cluster = SpriteCluster(workstations=4, start_daemons=False, seed=5)
+
+    def child(proc, code):
+        yield from proc.compute(0.5)
+        yield from proc.exit(code)
+
+    def parent(proc):
+        codes = []
+        for round_index in range(4):
+            yield from proc.fork(child, 10 + round_index, name=f"kid{round_index}")
+            yield from proc.compute(0.4)
+            status = yield from proc.wait()
+            codes.append(status.code)
+        return sorted(codes)
+
+    pcb, _ = cluster.hosts[0].spawn_process(parent, name="parent")
+    spawn(cluster.sim, chaos_driver(cluster, pcb, 5, period=0.4), name="chaos",
+          daemon=True)
+    codes = cluster.run_until_complete(pcb.task)
+    assert codes == [10, 11, 12, 13]
+    moved = [r for r in cluster.migration_records() if not r.refused]
+    assert moved
+
+
+def test_accounting_conserved_under_chaos():
+    """CPU time is neither lost nor double-charged by migrations."""
+    cluster = SpriteCluster(workstations=3, start_daemons=False, seed=9)
+    demand = 6.0
+
+    def job(proc):
+        yield from proc.compute(demand)
+        usage = yield from proc.getrusage()
+        return usage["cpu_time"]
+
+    pcb, _ = cluster.hosts[0].spawn_process(job, name="job")
+    spawn(cluster.sim, chaos_driver(cluster, pcb, 9, period=0.5), name="chaos",
+          daemon=True)
+    cpu_time = cluster.run_until_complete(pcb.task)
+    assert cpu_time == pytest.approx(demand, rel=0.05)
+    # And the hosts' total demand matches what the process consumed
+    # (plus kernel overheads, bounded).
+    total = sum(h.cpu.total_demand for h in cluster.hosts)
+    assert demand <= total < demand + 2.0
+
+
+def test_many_concurrent_migrations_between_same_pair():
+    """Six processes migrate simultaneously A->B: the protocol handles
+    concurrent transfers without interleaving corruption."""
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    pcbs = []
+
+    def job(proc, index):
+        yield from proc.compute(10.0)
+        return proc.pcb.current
+
+    for i in range(6):
+        pcb, _ = a.spawn_process(job, i, name=f"job{i}")
+        pcbs.append(pcb)
+
+    def driver(pcb):
+        yield Sleep(0.5)
+        yield from cluster.managers[a.address].migrate(pcb, b.address)
+
+    for pcb in pcbs:
+        spawn(cluster.sim, driver(pcb), name=f"driver{pcb.pid}", daemon=True)
+    finals = [cluster.run_until_complete(pcb.task) for pcb in pcbs]
+    assert finals == [b.address] * 6
+    completed = [r for r in cluster.migration_records() if not r.refused]
+    assert len(completed) == 6
+    # Every shadow at home points at the target (until exit zombied them).
+    for pcb in pcbs:
+        assert a.kernel.procs[pcb.pid].exit_status is not None
+
+
+def test_crossing_migrations_swap_hosts():
+    """Two processes swap hosts simultaneously (A->B while B->A)."""
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(8.0)
+        return proc.pcb.current
+
+    pcb_a, _ = a.spawn_process(job, name="from-a")
+    pcb_b, _ = b.spawn_process(job, name="from-b")
+
+    def driver(pcb, manager_addr, target):
+        yield Sleep(0.5)
+        yield from cluster.managers[manager_addr].migrate(pcb, target)
+
+    spawn(cluster.sim, driver(pcb_a, a.address, b.address), name="d1", daemon=True)
+    spawn(cluster.sim, driver(pcb_b, b.address, a.address), name="d2", daemon=True)
+    final_a = cluster.run_until_complete(pcb_a.task)
+    final_b = cluster.run_until_complete(pcb_b.task)
+    assert final_a == b.address
+    assert final_b == a.address

@@ -1,0 +1,95 @@
+"""Edge-case coverage for the lower substrates."""
+
+import pytest
+
+from repro.config import ClusterParams
+from repro.net import Lan, NetNode, Packet
+from repro.sim import Simulator, spawn
+
+from .helpers import MiniCluster
+
+
+def test_broadcast_excludes_requested_addresses():
+    sim = Simulator()
+    lan = Lan(sim, params=ClusterParams())
+    nodes = [NetNode(sim, f"n{i}") for i in range(4)]
+    for node in nodes:
+        lan.register(node)
+
+    def sender():
+        yield from lan.broadcast(
+            Packet(nodes[0].address, 0, "q", None, 64),
+            exclude=[nodes[2].address],
+        )
+
+    spawn(sim, sender())
+    sim.run_until_idle()
+    assert len(nodes[1].inbox) == 1
+    assert len(nodes[2].inbox) == 0   # excluded
+    assert len(nodes[3].inbox) == 1
+
+
+def test_lan_utilization_tracks_medium_busy_time():
+    sim = Simulator()
+    lan = Lan(sim, params=ClusterParams().clone(
+        net_latency=0.0, net_bandwidth=1_000_000.0))
+    a, b = NetNode(sim, "a"), NetNode(sim, "b")
+    lan.register(a)
+    lan.register(b)
+
+    def mover():
+        yield from lan.transfer(a.address, b.address, 500_000)  # 0.5s
+
+    spawn(sim, mover())
+    sim.run()
+    sim.run(until=1.0)
+    assert lan.utilization() == pytest.approx(0.5, rel=0.05)
+
+
+def test_server_disk_charged_on_cache_miss():
+    """With a 0% server cache hit rate every read pays disk time."""
+    slow = MiniCluster(clients=1, server_cache_hit_rate=0.0)
+    fast = MiniCluster(clients=1, server_cache_hit_rate=1.0)
+    for cluster in (slow, fast):
+        cluster.server.add_file("/f", size=1_000_000)
+
+    def scenario(cluster):
+        fs = cluster.clients[0].fs
+
+        def run():
+            from repro.fs import OpenMode
+
+            stream = yield from fs.open("/f", OpenMode.READ)
+            start = cluster.sim.now
+            yield from fs.read(stream, 1_000_000)
+            yield from fs.close(stream)
+            return cluster.sim.now - start
+
+        return cluster.run(run())
+
+    slow_time = scenario(slow)
+    fast_time = scenario(fast)
+    assert slow_time > fast_time
+
+
+def test_packet_send_time_recorded():
+    sim = Simulator()
+    lan = Lan(sim, params=ClusterParams())
+    a, b = NetNode(sim, "a"), NetNode(sim, "b")
+    lan.register(a)
+    lan.register(b)
+    packet = Packet(a.address, b.address, "x", None, 64)
+
+    def sender():
+        yield from lan.transfer(a.address, a.address, 1)  # advance clock
+        yield from lan.send(packet)
+
+    spawn(sim, sender())
+    sim.run_until_idle()
+    assert packet.send_time > 0
+
+
+def test_minicluster_param_overrides_flow_through():
+    cluster = MiniCluster(clients=1, fs_block_size=8192)
+    assert cluster.clients[0].fs.cache.block_size == 8192
+    assert cluster.params.fs_block_size == 8192

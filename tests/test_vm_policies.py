@@ -1,0 +1,125 @@
+"""Tests for the four VM-transfer policies (thesis §4.2.1, experiment E2)."""
+
+import pytest
+
+from repro import MB, SpriteCluster
+from repro.migration import make_policy
+from repro.sim import Sleep, spawn
+
+
+def run_one_migration(policy_name, vm_bytes, dirty_bytes, dirty_rate=0.0,
+                      compute=60.0):
+    """Migrate a process with the given VM footprint under a policy.
+
+    The job computes long enough that even pre-copy's rounds (which run
+    while the process executes) finish before it does.  Returns
+    (record, cluster, pcb).
+    """
+    cluster = SpriteCluster(workstations=2, start_daemons=False,
+                            vm_policy=policy_name)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.use_memory(vm_bytes)
+        if dirty_bytes:
+            yield from proc.dirty_memory(dirty_bytes)
+        proc.pcb.vm.dirty_rate_hint = dirty_rate
+        yield from proc.compute(compute)
+        return proc.pcb.current
+
+    pcb, _ = a.spawn_process(job, name="job")
+    records = []
+
+    def driver():
+        yield Sleep(1.0)
+        record = yield from cluster.managers[a.address].migrate(pcb, b.address)
+        records.append(record)
+
+    spawn(cluster.sim, driver(), name="driver")
+    final = cluster.run_until_complete(pcb.task)
+    assert final == b.address
+    return records[0], cluster, pcb
+
+
+def test_flush_to_server_flushes_dirty_and_demand_pages():
+    record, cluster, pcb = run_one_migration("flush-to-server", 2 * MB, 1 * MB)
+    assert record.vm.policy == "flush-to-server"
+    assert record.vm.bytes_during_freeze == 1 * MB          # the dirty MB
+    assert record.vm.post_resume_debt == 2 * MB             # demand-paged later
+    assert record.vm.residual_dependency is False
+    # The flush really reached the file server; the page-ins came back.
+    assert cluster.file_server.bytes_written >= 1 * MB
+    assert cluster.file_server.bytes_read >= 2 * MB
+    assert pcb.vm.page_in_debt == 0                         # settled
+
+
+def test_full_copy_moves_whole_image_in_freeze():
+    record, _cluster, _pcb = run_one_migration("full-copy", 2 * MB, 1 * MB)
+    assert record.vm.bytes_during_freeze == 2 * MB
+    assert record.vm.post_resume_debt == 0
+    assert record.vm.residual_dependency is False
+
+
+def test_full_copy_freeze_grows_with_size():
+    small, _c, _p = run_one_migration("full-copy", 1 * MB, 0)
+    large, _c, _p = run_one_migration("full-copy", 8 * MB, 0)
+    assert large.freeze_time > 4 * small.freeze_time
+
+
+def test_pre_copy_shortens_freeze():
+    full, _c, _p = run_one_migration("full-copy", 4 * MB, 0)
+    pre, _c, _p = run_one_migration(
+        "pre-copy", 4 * MB, 0, dirty_rate=64 * 1024
+    )
+    assert pre.freeze_time < full.freeze_time / 4
+    assert pre.vm.rounds >= 2
+    # Pre-copy pays with total bytes: at least the whole image moved.
+    assert pre.vm.bytes_total >= 4 * MB
+
+
+def test_pre_copy_high_dirty_rate_hits_round_cap():
+    record, _c, _p = run_one_migration(
+        "pre-copy", 4 * MB, 0, dirty_rate=100 * MB
+    )
+    # The remainder never converges; rounds cap bounds the work.
+    assert record.vm.rounds >= 5
+
+
+def test_copy_on_reference_fast_freeze_residual_source():
+    cor, cluster, pcb = run_one_migration("copy-on-reference", 4 * MB, 2 * MB)
+    full, _c, _p = run_one_migration("full-copy", 4 * MB, 2 * MB)
+    assert cor.freeze_time < full.freeze_time / 10
+    assert cor.vm.residual_dependency is True
+    assert cor.vm.post_resume_debt == 4 * MB
+    assert pcb.vm.page_in_debt == 0  # faulted in from the source afterwards
+
+
+def test_policy_freeze_ordering_matches_paper():
+    """§4.2.1's qualitative comparison: COR < pre-copy < full-copy in
+    freeze time for a large address space."""
+    freeze = {}
+    for name in ("copy-on-reference", "pre-copy", "full-copy"):
+        record, _c, _p = run_one_migration(name, 8 * MB, 0, dirty_rate=32 * 1024)
+        freeze[name] = record.freeze_time
+    assert freeze["copy-on-reference"] < freeze["pre-copy"] < freeze["full-copy"]
+
+
+def test_flush_policy_cheap_when_clean():
+    """A clean address space (all pages backed by the server) makes
+    Sprite's eviction flush nearly free."""
+    clean, _c, _p = run_one_migration("flush-to-server", 4 * MB, 0)
+    dirty, _c, _p = run_one_migration("flush-to-server", 4 * MB, 4 * MB)
+    assert clean.freeze_time < dirty.freeze_time / 5
+
+
+def test_make_policy_unknown_name():
+    with pytest.raises(ValueError, match="unknown VM policy"):
+        make_policy("teleport")
+
+
+def test_policies_registry_complete():
+    from repro.migration import POLICIES
+
+    assert set(POLICIES) == {
+        "flush-to-server", "full-copy", "pre-copy", "copy-on-reference"
+    }
