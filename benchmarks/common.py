@@ -2,6 +2,12 @@
 
 from __future__ import annotations
 
+import json
+import pathlib
+from typing import Any, Dict
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
 
 def run_simulated(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark.
@@ -11,3 +17,16 @@ def run_simulated(benchmark, fn):
     rather than statistics.
     """
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def archive_json(name: str, payload: Dict[str, Any]) -> pathlib.Path:
+    """Write ``payload`` as ``benchmarks/results/<name>.json``.
+
+    Machine-readable companion to the rendered ``*.txt`` artifacts the
+    ``archive`` fixture produces; downstream tooling (CI trend tracking,
+    the engine benchmark) reads these instead of scraping tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

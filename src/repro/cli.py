@@ -52,6 +52,7 @@ EXPERIMENTS: Dict[str, str] = {
     "B1": "bench_condor_comparison.py",
     "S1": "bench_network_sweep.py",
     "S2": "bench_assignment_caching.py",
+    "P1": "bench_engine.py",
 }
 
 

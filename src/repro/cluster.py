@@ -116,12 +116,20 @@ class SpriteCluster:
                 params=self.params,
                 tracer=self.tracer,
                 start_daemons=start_daemons,
+                batch_load_ticks=True,
                 cpu_speed=cpu_speeds[i] if cpu_speeds else 1.0,
             )
             manager = MigrationManager(host, self.managers, policy=vm_policy)
             evictor = EvictionDaemon(manager, start=start_daemons)
             self.hosts.append(host)
             self.evictors.append(evictor)
+        if start_daemons:
+            # One bulk event batch starts every per-second load sampler.
+            from .kernel.loadavg import LoadAverage
+
+            LoadAverage.start_batched(
+                self.sim, [host.loadavg for host in self.hosts]
+            )
 
     # ------------------------------------------------------------------
     @property

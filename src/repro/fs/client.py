@@ -126,9 +126,10 @@ class FsClient:
             size=nbytes,
             timeout=None,
         )
-        self.tracer.emit(
-            self.sim.now, f"fsc:{self.node.name}", "flush", path=path, bytes=nbytes
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, f"fsc:{self.node.name}", "flush", path=path, bytes=nbytes
+            )
         return nbytes
 
     def _handle_for(self, path: str) -> int:
@@ -445,10 +446,11 @@ class FsClient:
             reopened += 1
             if dirty:
                 yield from self._flush_path(stream.path, stream.handle_id)
-        self.tracer.emit(
-            self.sim.now, f"fsc:{self.node.name}", "recovered",
-            server=server, streams=reopened,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, f"fsc:{self.node.name}", "recovered",
+                server=server, streams=reopened,
+            )
         return reopened
 
     # ------------------------------------------------------------------
@@ -512,14 +514,15 @@ class FsClient:
         copy.shared = info["shared"]
         copy.cacheable = info["cacheable"] and not info["shared"]
         copy.size = max(stream.size, info["size"])
-        self.tracer.emit(
-            self.sim.now,
-            f"fsc:{self.node.name}",
-            "stream-export",
-            path=stream.path,
-            to=to_client,
-            flushed=flushed,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now,
+                f"fsc:{self.node.name}",
+                "stream-export",
+                path=stream.path,
+                to=to_client,
+                flushed=flushed,
+            )
         return {
             "stream": copy,
             "shared": info["shared"],

@@ -183,9 +183,10 @@ class FileServer:
     ) -> Generator[Effect, None, Any]:
         """Cache-consistency callback RPC to a client kernel."""
         self.consistency_callbacks += 1
-        self.tracer.emit(
-            self.sim.now, self.name, "callback", client=client, service=service
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, self.name, "callback", client=client, service=service
+            )
         return (yield from self.rpc.call(client, service, args))
 
     # ------------------------------------------------------------------
@@ -262,15 +263,16 @@ class FileServer:
             _bump(entry.open_readers, request.client, 1)
         if cacheable:
             entry.caching_clients.add(request.client)
-        self.tracer.emit(
-            self.sim.now,
-            self.name,
-            "open",
-            path=entry.path,
-            client=request.client,
-            mode=OpenMode.describe(request.mode),
-            cacheable=cacheable,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now,
+                self.name,
+                "open",
+                path=entry.path,
+                client=request.client,
+                mode=OpenMode.describe(request.mode),
+                cacheable=cacheable,
+            )
         return OpenResult(
             handle_id=entry.handle_id,
             version=entry.version,
@@ -398,16 +400,17 @@ class FileServer:
                     )
                 entry.caching_clients.clear()
         cacheable = entry.cacheable
-        self.tracer.emit(
-            self.sim.now,
-            self.name,
-            "stream-move",
-            path=entry.path,
-            stream=request.stream_id,
-            src=request.from_client,
-            dst=request.to_client,
-            shared=shared,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now,
+                self.name,
+                "stream-move",
+                path=entry.path,
+                stream=request.stream_id,
+                src=request.from_client,
+                dst=request.to_client,
+                shared=shared,
+            )
         return {"shared": shared, "cacheable": cacheable, "size": entry.size}
 
     def _rpc_offset(self, request: OffsetOp) -> Generator[Effect, None, int]:

@@ -299,10 +299,11 @@ class SpriteKernel:
                 parent.child_event = None
             if sig.SIGCHLD in parent.caught_signals:
                 self.post_signal_local(parent, sig.SIGCHLD)
-        self.tracer.emit(
-            self.sim.now, f"kernel:{self.node.name}", "exit",
-            pid=pcb.pid, code=status.code,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, f"kernel:{self.node.name}", "exit",
+                pid=pcb.pid, code=status.code,
+            )
 
     def _rpc_exit_notify(self, args: Dict[str, Any]) -> Generator[Effect, None, None]:
         yield from self.cpu.consume(self.params.kernel_call_cpu)
@@ -446,10 +447,11 @@ class SpriteKernel:
         """Queue a signal on a resident process and preempt it if possible."""
         pcb.pending_signals.append(signum)
         self.signals_delivered += 1
-        self.tracer.emit(
-            self.sim.now, f"kernel:{self.node.name}", "signal",
-            pid=pcb.pid, sig=sig.name_of(signum),
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, f"kernel:{self.node.name}", "signal",
+                pid=pcb.pid, sig=sig.name_of(signum),
+            )
         if pcb.task is not None and pcb.interruptible:
             pcb.task.interrupt(("signal", signum))
 

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 import math
-from typing import Generator, Optional
+from typing import Optional
 
 from ..config import ClusterParams
-from ..sim import Cpu, Effect, Simulator, Sleep, spawn
+from ..sim import Cpu, Simulator
 
 __all__ = ["LoadAverage"]
 
@@ -36,14 +36,32 @@ class LoadAverage:
         self._alpha = math.exp(
             -self.params.load_sample_period / self.params.load_decay
         )
+        # The sampler is the highest-frequency periodic activity in a
+        # cluster (one event per host per simulated second), so it runs
+        # as a bare self-rescheduling callback rather than a coroutine
+        # task: no generator frame, no Effect binding per tick.
         if start_daemon:
-            spawn(sim, self._sampler(), name=f"loadavg:{cpu.name}", daemon=True)
+            sim.defer(self._start_ticks)
 
-    def _sampler(self) -> Generator[Effect, None, None]:
-        period = self.params.load_sample_period
-        while True:
-            yield Sleep(period)
-            self.sample()
+    def _start_ticks(self) -> None:
+        self.sim.schedule(self.params.load_sample_period, self._tick)
+
+    def _tick(self) -> None:
+        self.sample()
+        self.sim.schedule(self.params.load_sample_period, self._tick)
+
+    @staticmethod
+    def start_batched(sim: Simulator, loadavgs: "list[LoadAverage]") -> None:
+        """Kick a group of samplers with one bulk scheduling call.
+
+        The cluster uses this to start every host's per-second tick in a
+        single ``schedule_many`` instead of one startup event per host.
+        All samplers must share the same ``load_sample_period``.
+        """
+        if not loadavgs:
+            return
+        period = loadavgs[0].params.load_sample_period
+        sim.schedule_many(period, [(la._tick, ()) for la in loadavgs])
 
     def sample(self) -> float:
         runnable = self.cpu.runnable

@@ -201,6 +201,7 @@ class UserContext:
         if demand < 0:
             raise ValueError(f"negative CPU demand: {demand}")
         pcb = self.pcb
+        kernels = self._kernels
         remaining = demand
         while remaining > 1e-9:
             if pcb.vm.page_in_debt > 0:
@@ -208,19 +209,22 @@ class UserContext:
                 # back in (from the backing file, or from the source for
                 # copy-on-reference).
                 yield from self._settle_vm_debt()
-            cpu = self.kernel.cpu
+            # Re-resolved every slice: migration rebinds pcb.current.
+            kernel = kernels[pcb.current]
+            cpu = kernel.cpu
+            sim = kernel.sim
             slice_len = min(cpu.quantum, remaining / cpu.speed)
             consumed = 0.0
             cpu.runnable += 1
             pcb.interruptible = True
             try:
                 yield cpu.core.acquire()
-                started = self.sim.now
+                started = sim.now
                 try:
                     yield Sleep(slice_len)
                     consumed = slice_len * cpu.speed
                 except Interrupted as intr:
-                    consumed = (self.sim.now - started) * cpu.speed
+                    consumed = (sim.now - started) * cpu.speed
                     self._on_interrupt(intr)
                 finally:
                     cpu.core.release()
@@ -237,7 +241,12 @@ class UserContext:
                 pcb.vm.touch(
                     int(dirty_bytes_per_second * consumed), write=True
                 )
-            yield from self._checkpoint()
+            # Inline the no-signal, no-freeze checkpoint fast path (the
+            # overwhelmingly common case between compute slices).
+            if pcb.pending_signals:
+                self._drain_signals()
+            if pcb.migration_ticket is not None:
+                yield from self._checkpoint()
 
     def _settle_vm_debt(self) -> Generator[Effect, None, None]:
         vm = self.pcb.vm

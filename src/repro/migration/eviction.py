@@ -98,13 +98,14 @@ class EvictionDaemon:
             records=records,
         )
         self.events.append(event)
-        self.host.tracer.emit(
-            self.host.sim.now,
-            f"evict:{self.host.name}",
-            "evicted",
-            victims=event.victims,
-            seconds=round(event.reclaim_seconds, 6),
-        )
+        if self.host.tracer.enabled:
+            self.host.tracer.emit(
+                self.host.sim.now,
+                f"evict:{self.host.name}",
+                "evicted",
+                victims=event.victims,
+                seconds=round(event.reclaim_seconds, 6),
+            )
         if self.on_evicted is not None and records:
             self.on_evicted(records)
         return event

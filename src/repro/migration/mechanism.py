@@ -350,15 +350,16 @@ class MigrationManager:
                 {"pid": pcb.pid, "current": target},
             )
         pcb.migrations += 1
-        self.tracer.emit(
-            self.sim.now,
-            f"mig:{self.host.name}",
-            "migrated",
-            pid=pcb.pid,
-            target=target,
-            reason=record.reason,
-            streams=record.streams_moved,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now,
+                f"mig:{self.host.name}",
+                "migrated",
+                pid=pcb.pid,
+                target=target,
+                reason=record.reason,
+                streams=record.streams_moved,
+            )
 
     def _rollback_streams(
         self, pcb: Pcb, target: int, stream_states
@@ -434,9 +435,10 @@ class MigrationManager:
         # The backing file stays on its server; rebind it to this client.
         if pcb.vm.backing is not None:
             pcb.vm.backing = pcb.vm.backing.handoff(self.host.fs)
-        self.tracer.emit(
-            self.sim.now, f"mig:{self.host.name}", "installed", pid=pcb.pid
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, f"mig:{self.host.name}", "installed", pid=pcb.pid
+            )
         return None
 
     def _rpc_update_location(self, args: Dict[str, Any]) -> Generator[Effect, None, None]:

@@ -104,15 +104,16 @@ class Lan:
         self.bytes_sent += packet.size
         if not dst.up:
             raise HostDownError(f"host {dst.name} is down")
-        self.tracer.emit(
-            self.sim.now,
-            "lan",
-            "deliver",
-            src=packet.src,
-            dst=packet.dst,
-            msg=packet.kind,
-            size=packet.size,
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now,
+                "lan",
+                "deliver",
+                src=packet.src,
+                dst=packet.dst,
+                msg=packet.kind,
+                size=packet.size,
+            )
         if not dst.inbox.try_put(packet):
             raise RuntimeError(f"inbox of {dst.name} is bounded and full")
 
@@ -131,9 +132,10 @@ class Lan:
         yield Sleep(self.params.net_latency)
         self.messages_sent += 1
         self.bytes_sent += nbytes
-        self.tracer.emit(
-            self.sim.now, "lan", "transfer", src=src, dst=dst, size=nbytes
-        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, "lan", "transfer", src=src, dst=dst, size=nbytes
+            )
 
     def broadcast(
         self, packet: Packet, exclude: Optional[List[int]] = None
@@ -147,15 +149,22 @@ class Lan:
         self.messages_sent += 1
         self.bytes_sent += packet.size
         packet.send_time = self.sim.now
+        # Fan the receiver wakeups out through one bulk scheduling call:
+        # the buffer/wakeup bookkeeping stays per-channel and synchronous,
+        # so the delivery order matches per-receiver try_put exactly.
+        wakeups: List[Any] = []
         for address, node in sorted(self.nodes.items()):
             if address in skip or not node.up:
                 continue
             copy = Packet(packet.src, address, packet.kind, packet.payload, packet.size)
             copy.send_time = packet.send_time
-            node.inbox.try_put(copy)
-        self.tracer.emit(
-            self.sim.now, "lan", "broadcast", src=packet.src, msg=packet.kind
-        )
+            node.inbox.try_put_batch(copy, wakeups)
+        if wakeups:
+            self.sim.schedule_many(0.0, wakeups)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, "lan", "broadcast", src=packet.src, msg=packet.kind
+            )
 
     # ------------------------------------------------------------------
     def _occupy_medium(self, size: int) -> Generator[Effect, None, None]:

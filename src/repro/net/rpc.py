@@ -199,9 +199,10 @@ class RpcPort:
                 size=size,
             )
             self.calls_made += 1
-            self.tracer.emit(
-                self.sim.now, f"rpc:{self.node.name}", "call", dst=dst, service=service
-            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, f"rpc:{self.node.name}", "call", dst=dst, service=service
+                )
             try:
                 yield from self.lan.send(packet)
             except HostDownError as err:

@@ -37,6 +37,7 @@ EXPERIMENT_ORDER: List[Tuple[str, str]] = [
     ("B1_condor_comparison", "Sprite vs Condor checkpoint/restart (ch. 2)"),
     ("S1_network_sweep", "Network-speed sensitivity (extension)"),
     ("S2_assignment_caching", "Host-assignment caching (ch. 9 future work)"),
+    ("P1_engine", "Engine throughput microbenchmarks (infrastructure)"),
 ]
 
 HEADER = """\

@@ -32,6 +32,9 @@ class Channel:
         self._getters: Deque[_Waiter] = deque()
         self._putters: Deque[Tuple[_Waiter, Any]] = deque()
         self._closed = False
+        # _Get keeps no per-wait state (the waiter itself is the queue
+        # entry), so one shared instance serves every get.
+        self._get = _Get(self)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -47,7 +50,7 @@ class Channel:
 
     def get(self) -> Effect:
         """Effect that dequeues the next item, blocking while empty."""
-        return _Get(self)
+        return self._get
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put; returns False when full instead of blocking."""
@@ -55,7 +58,28 @@ class Channel:
             raise ChannelClosed(f"channel {self.name!r} is closed")
         if self._getters:
             getter = self._getters.popleft()
-            self.sim.call_soon(getter._resume, item)
+            self.sim.defer(getter._resume, item)
+            return True
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return True
+        return False
+
+    def try_put_batch(self, item: Any, wakeups: list) -> bool:
+        """Like :meth:`try_put`, but collect the getter wakeup into ``wakeups``.
+
+        Bulk senders (LAN broadcast) deliver to many channels at one
+        instant: each call appends at most one ``(fn, args)`` pair, and
+        the caller flushes them with a single
+        ``sim.schedule_many(0.0, wakeups)``.  As long as nothing else is
+        scheduled between the first call and the flush, the wakeup order
+        is identical to per-channel :meth:`try_put`.
+        """
+        if self._closed:
+            raise ChannelClosed(f"channel {self.name!r} is closed")
+        if self._getters:
+            getter = self._getters.popleft()
+            wakeups.append((getter._resume, (item,)))
             return True
         if len(self._items) < self.capacity:
             self._items.append(item)
@@ -73,7 +97,7 @@ class Channel:
     def close(self) -> None:
         self._closed = True
         for waiter, _item in self._putters:
-            self.sim.call_soon(
+            self.sim.defer(
                 waiter._throw, ChannelClosed(f"channel {self.name!r} is closed")
             )
         self._putters.clear()
@@ -85,16 +109,17 @@ class Channel:
         if self._putters and len(self._items) < self.capacity:
             waiter, item = self._putters.popleft()
             self._items.append(item)
-            self.sim.call_soon(waiter._resume, None)
+            self.sim.defer(waiter._resume, None)
         if self._closed and not self._items:
             self._drain_getters()
 
     def _drain_getters(self) -> None:
-        for getter in self._getters:
-            self.sim.call_soon(
-                getter._throw, ChannelClosed(f"channel {self.name!r} is closed")
+        if self._getters:
+            error = ChannelClosed(f"channel {self.name!r} is closed")
+            self.sim.schedule_many(
+                0.0, [(getter._throw, (error,)) for getter in self._getters]
             )
-        self._getters.clear()
+            self._getters.clear()
 
 
 class _Put(Effect):
@@ -105,17 +130,17 @@ class _Put(Effect):
     def bind(self, waiter: _Waiter) -> None:
         ch = self.channel
         if ch._closed:
-            waiter.sim.call_soon(
+            waiter.sim.defer(
                 waiter._throw, ChannelClosed(f"channel {ch.name!r} is closed")
             )
             return
         if ch._getters:
             getter = ch._getters.popleft()
-            waiter.sim.call_soon(getter._resume, self.item)
-            waiter.sim.call_soon(waiter._resume, None)
+            waiter.sim.defer(getter._resume, self.item)
+            waiter.sim.defer(waiter._resume, None)
         elif len(ch._items) < ch.capacity:
             ch._items.append(self.item)
-            waiter.sim.call_soon(waiter._resume, None)
+            waiter.sim.defer(waiter._resume, None)
         else:
             ch._putters.append((waiter, self.item))
 
@@ -135,9 +160,9 @@ class _Get(Effect):
         if ch._items:
             item = ch._items.popleft()
             ch._admit_putter()
-            waiter.sim.call_soon(waiter._resume, item)
+            waiter.sim.defer(waiter._resume, item)
         elif ch._closed:
-            waiter.sim.call_soon(
+            waiter.sim.defer(
                 waiter._throw, ChannelClosed(f"channel {ch.name!r} is closed")
             )
         else:

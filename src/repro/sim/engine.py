@@ -11,43 +11,98 @@ Design notes
 * Events scheduled for the same instant fire in FIFO order (a strictly
   increasing sequence number breaks ties), which keeps runs
   deterministic for a fixed seed.
-* Cancellation is O(1): a cancelled handle stays in the heap but is
-  skipped when popped.
+* Same-instant events (``delay == 0``: task resumptions, channel
+  wakeups) bypass the heap entirely and travel through a FIFO *ready
+  queue*.  Dispatch merges the two sources by ``(time, seq)``, so the
+  global FIFO tie-break is byte-identical to an all-heap engine.
+* Cancellation is O(1): a cancelled handle stays in its queue but is
+  skipped when popped.  Cancelled-event counters keep
+  :attr:`Simulator.pending_events` O(1) with no per-dispatch
+  bookkeeping, and when more than half the heap is cancelled corpses
+  the heap is compacted in place (same ``(time, seq)`` keys, so
+  ordering is unaffected) — long runs with heavy timeout churn stay
+  bounded in memory.
+* :meth:`Simulator.defer` is the allocation-free fast path for wakeups
+  that are never cancelled; :meth:`Simulator.schedule_many` amortizes
+  bulk fan-out (broadcast delivery, batched periodic ticks).
+
+Invariants a future C-accelerated queue must keep are documented in
+``docs/architecture.md`` ("Event-loop fast paths").
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Iterable, List, Optional, Tuple
 
 from .errors import SimulationDeadlock
 
 __all__ = ["Simulator", "EventHandle"]
 
+#: Compaction is pointless below this heap size; above it, a heap more
+#: than half full of cancelled corpses is rebuilt.
+_COMPACT_MIN = 64
+
+
+def _noop(*_args: Any) -> None:
+    pass
+
 
 class EventHandle:
-    """A cancellable reference to one scheduled callback."""
+    """A cancellable reference to one scheduled callback.
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    ``sim`` doubles as the liveness marker: it is dropped when the event
+    fires or is cancelled, so a late :meth:`cancel` after the callback
+    ran never corrupts the simulator's event accounting.
+    """
 
-    def __init__(self, time: float, fn: Callable[..., None], args: Tuple[Any, ...]):
+    __slots__ = ("time", "fn", "args", "cancelled", "sim")
+
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        args: Tuple[Any, ...],
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references eagerly so cancelled closures don't pin objects
         # for the rest of the run.
         self.fn = _noop
         self.args = ()
+        sim = self.sim
+        if sim is not None:
+            self.sim = None
+            sim._heap_handle_cancelled()
 
 
-def _noop(*_args: Any) -> None:
-    pass
+class _ReadyHandle(EventHandle):
+    """Handle for a same-instant event parked on the ready queue."""
+
+    __slots__ = ()
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self.fn = _noop
+        self.args = ()
+        sim = self.sim
+        if sim is not None:
+            self.sim = None
+            sim._ready_cancelled += 1
 
 
 class Simulator:
@@ -58,13 +113,41 @@ class Simulator:
     rare component (e.g. the load-average sampler) that wants it.
     """
 
+    __slots__ = (
+        "now",
+        "_heap",
+        "_ready",
+        "_seq",
+        "_running",
+        "_heap_cancelled",
+        "_ready_cancelled",
+        "events_fired",
+        "heap_compactions",
+        "failures",
+        "live_tasks",
+    )
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, EventHandle]] = []
+        #: Same-instant FIFO: entries are ``(time, seq, handle, fn, args)``
+        #: with ``handle is None`` for the uncancellable ``defer`` path.
+        self._ready: Deque[Tuple[float, int, Optional[EventHandle],
+                                 Callable[..., None], Tuple[Any, ...]]] = deque()
         self._seq = itertools.count()
         self._running = False
+        #: Cancelled-but-unpopped corpses per queue; queue length minus
+        #: corpses is the live-event count (so scheduling and dispatch
+        #: never touch a counter — only cancellation does).
+        self._heap_cancelled = 0
+        self._ready_cancelled = 0
+        #: Total events dispatched; the benchmark harness reads this.
+        self.events_fired = 0
+        #: Times the heap was rebuilt to shed cancelled corpses.
+        self.heap_compactions = 0
         #: Exceptions raised by detached tasks; populated by tasks.py and
         #: re-raised by :meth:`run` so failures never pass silently.
+        #: Mutated in place (never rebound) so dispatch loops can alias it.
         self.failures: List[BaseException] = []
         #: Number of live (unfinished) tasks; maintained by tasks.py so
         #: that :meth:`run` can detect deadlock.
@@ -77,8 +160,14 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        handle = EventHandle(self.now + delay, fn, args)
-        heapq.heappush(self._heap, (handle.time, next(self._seq), handle))
+        if delay == 0.0:
+            now = self.now
+            handle = _ReadyHandle(now, fn, args, self)
+            self._ready.append((now, next(self._seq), handle, fn, args))
+            return handle
+        time = self.now + delay
+        handle = EventHandle(time, fn, args, self)
+        heapq.heappush(self._heap, (time, next(self._seq), handle))
         return handle
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
@@ -87,20 +176,101 @@ class Simulator:
 
     def call_soon(self, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Run ``fn(*args)`` at the current instant, after pending events."""
-        return self.schedule(0.0, fn, *args)
+        now = self.now
+        handle = _ReadyHandle(now, fn, args, self)
+        self._ready.append((now, next(self._seq), handle, fn, args))
+        return handle
+
+    def defer(self, fn: Callable[..., None], *args: Any) -> None:
+        """Like :meth:`call_soon` but with no handle: not cancellable.
+
+        The hot path for task resumptions and channel/resource wakeups,
+        which are guarded by their own state machines (``Task.done``,
+        settled flags) and never cancel the scheduled callback itself.
+        """
+        self._ready.append((self.now, next(self._seq), None, fn, args))
+
+    def schedule_many(
+        self,
+        delay: float,
+        calls: Iterable[Tuple[Callable[..., None], Tuple[Any, ...]]],
+    ) -> int:
+        """Bulk-schedule ``(fn, args)`` pairs after ``delay`` seconds.
+
+        Fire-and-forget (no handles are returned): broadcast fan-out and
+        batched periodic ticks use this to amortize per-event costs.
+        FIFO order of ``calls`` is preserved exactly as if each had been
+        scheduled individually, so determinism is unaffected.  Returns
+        the number of events scheduled.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        seq = self._seq
+        count = 0
+        if delay == 0.0:
+            now = self.now
+            append = self._ready.append
+            for fn, args in calls:
+                append((now, next(seq), None, fn, args))
+                count += 1
+        else:
+            time = self.now + delay
+            heap = self._heap
+            push = heapq.heappush
+            for fn, args in calls:
+                push(heap, (time, next(seq), EventHandle(time, fn, args, self)))
+                count += 1
+        return count
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
-        while self._heap:
-            time, _seq, handle = heapq.heappop(self._heap)
+        ready = self._ready
+        heap = self._heap
+        while ready or heap:
+            if ready:
+                r = ready[0]
+                if heap:
+                    h = heap[0]
+                    if h[0] < r[0] or (h[0] == r[0] and h[1] < r[1]):
+                        heapq.heappop(heap)
+                        handle = h[2]
+                        if handle.cancelled:
+                            self._heap_cancelled -= 1
+                            continue
+                        handle.sim = None
+                        self.now = h[0]
+                        self.events_fired += 1
+                        handle.fn(*handle.args)
+                        if self.failures:
+                            self._raise_failure()
+                        return True
+                ready.popleft()
+                handle = r[2]
+                if handle is not None:
+                    if handle.cancelled:
+                        self._ready_cancelled -= 1
+                        continue
+                    handle.sim = None
+                self.now = r[0]
+                self.events_fired += 1
+                r[3](*r[4])
+                if self.failures:
+                    self._raise_failure()
+                return True
+            h = heapq.heappop(heap)
+            handle = h[2]
             if handle.cancelled:
+                self._heap_cancelled -= 1
                 continue
-            self.now = time
+            handle.sim = None
+            self.now = h[0]
+            self.events_fired += 1
             handle.fn(*handle.args)
-            self._check_failures()
+            if self.failures:
+                self._raise_failure()
             return True
         return False
 
@@ -111,19 +281,76 @@ class Simulator:
         :class:`SimulationDeadlock` if live tasks remain when the queue
         drains before ``until`` (or drains entirely when no ``until``
         was given and tasks are still blocked).
+
+        Each live event is popped exactly once per dispatch; cancelled
+        heap corpses are discarded as they surface.
         """
         if self._running:
             raise RuntimeError("Simulator.run is not reentrant")
         self._running = True
+        fired = 0
         try:
-            while self._heap:
-                peek_time = self._next_event_time()
-                if until is not None and peek_time is not None and peek_time > until:
-                    self.now = until
-                    return self.now
-                if not self.step():
+            ready = self._ready
+            heap = self._heap
+            heappop = heapq.heappop
+            failures = self.failures
+            bounded = until is not None
+            while True:
+                if ready:
+                    r = ready[0]
+                    if heap:
+                        h = heap[0]
+                        if h[0] < r[0] or (h[0] == r[0] and h[1] < r[1]):
+                            # A heap entry (or corpse) precedes the ready
+                            # head; fall through to the heap branch.
+                            handle = h[2]
+                            if handle.cancelled:
+                                heappop(heap)
+                                self._heap_cancelled -= 1
+                                continue
+                            if bounded and h[0] > until:
+                                break
+                            heappop(heap)
+                            handle.sim = None
+                            self.now = h[0]
+                            fired += 1
+                            handle.fn(*handle.args)
+                            if failures:
+                                self._raise_failure()
+                            continue
+                    if bounded and r[0] > until:
+                        break
+                    ready.popleft()
+                    handle = r[2]
+                    if handle is not None:
+                        if handle.cancelled:
+                            self._ready_cancelled -= 1
+                            continue
+                        handle.sim = None
+                    self.now = r[0]
+                    fired += 1
+                    r[3](*r[4])
+                    if failures:
+                        self._raise_failure()
+                elif heap:
+                    h = heap[0]
+                    handle = h[2]
+                    if handle.cancelled:
+                        heappop(heap)
+                        self._heap_cancelled -= 1
+                        continue
+                    if bounded and h[0] > until:
+                        break
+                    heappop(heap)
+                    handle.sim = None
+                    self.now = h[0]
+                    fired += 1
+                    handle.fn(*handle.args)
+                    if failures:
+                        self._raise_failure()
+                else:
                     break
-            if until is not None:
+            if bounded:
                 self.now = max(self.now, until)
             elif self.live_tasks > 0:
                 raise SimulationDeadlock(
@@ -131,6 +358,7 @@ class Simulator:
                 )
             return self.now
         finally:
+            self.events_fired += fired
             self._running = False
 
     def run_until_idle(self) -> float:
@@ -143,22 +371,50 @@ class Simulator:
             pass
         return self.now
 
-    def _next_event_time(self) -> Optional[float]:
-        while self._heap:
-            time, _seq, handle = self._heap[0]
-            if handle.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            return time
-        return None
+    def _raise_failure(self) -> None:
+        failure = self.failures[0]
+        del self.failures[:]
+        raise failure
 
+    # Back-compat alias; tasks.py historically called this.
     def _check_failures(self) -> None:
         if self.failures:
-            failure = self.failures[0]
-            self.failures = []
-            raise failure
+            self._raise_failure()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _heap_handle_cancelled(self) -> None:
+        """Heap-handle cancel hook: count the corpse, compact when mostly dead."""
+        self._heap_cancelled += 1
+        heap = self._heap
+        if len(heap) >= _COMPACT_MIN and self._heap_cancelled * 2 > len(heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled corpses.
+
+        The surviving entries keep their ``(time, seq)`` keys, so the
+        dispatch order is exactly what it would have been lazily.  The
+        list is mutated in place — dispatch loops hold aliases to it.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._heap_cancelled = 0
+        self.heap_compactions += 1
 
     @property
     def pending_events(self) -> int:
-        """Number of uncancelled events still queued (O(n); for tests)."""
-        return sum(1 for _t, _s, h in self._heap if not h.cancelled)
+        """Number of uncancelled events still queued (O(1))."""
+        return (len(self._heap) - self._heap_cancelled
+                + len(self._ready) - self._ready_cancelled)
+
+    def _pending_events_slow(self) -> int:
+        """O(n) recount of :attr:`pending_events`; tests assert they agree."""
+        heap_live = sum(1 for _t, _s, h in self._heap if not h.cancelled)
+        ready_live = sum(
+            1 for entry in self._ready
+            if entry[2] is None or not entry[2].cancelled
+        )
+        return heap_live + ready_live

@@ -30,19 +30,22 @@ class Resource:
         #: Cumulative (units x seconds) of busy time, for utilization metrics.
         self.busy_time = 0.0
         self._last_change = 0.0
+        # _Acquire keeps no per-wait state (the waiter itself is the
+        # queue entry), so one shared instance serves every acquire.
+        self._acquire = _Acquire(self)
 
     @property
     def queue_length(self) -> int:
         return len(self._queue)
 
     def acquire(self) -> Effect:
-        return _Acquire(self)
+        return self._acquire
 
     def release(self) -> None:
         self._account()
         if self._queue:
             waiter = self._queue.popleft()
-            self.sim.call_soon(waiter._resume, None)
+            self.sim.defer(waiter._resume, None)
         else:
             if self.in_use <= 0:
                 raise RuntimeError(f"resource {self.name!r} released when free")
@@ -77,7 +80,7 @@ class _Acquire(Effect):
         if res.in_use < res.capacity and not res._queue:
             res._account()
             res.in_use += 1
-            waiter.sim.call_soon(waiter._resume, None)
+            waiter.sim.defer(waiter._resume, None)
         else:
             res._queue.append(waiter)
 

@@ -1,0 +1,126 @@
+"""Fixed-seed golden test: the event-loop fast paths must not reorder.
+
+Runs a small cluster scenario exercising every hot path the engine
+overhaul touches — pmake fan-out (migration), a usage window with
+batches and evictions, RPC, file traffic, load-average ticks — with
+tracing on, and fingerprints the complete traced event order plus the
+final report.  The fingerprint is compared against a committed golden
+value generated on the pre-fast-path engine, so any change to the
+same-instant FIFO semantics (ready queue, heap compaction, bulk
+scheduling) shows up as a hash mismatch rather than a subtle drift.
+
+Regenerate (only when an ordering change is *intended* and understood):
+
+    REGEN_ENGINE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_engine_determinism.py -q
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+
+from repro import SpriteCluster
+from repro.loadsharing import LoadSharingService
+from repro.workloads import ActivityModel, Pmake, SourceTree, UsageSimulation
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_engine_determinism.json"
+
+
+def _run_scenario():
+    cluster = SpriteCluster(workstations=4, seed=11, trace=True,
+                            start_daemons=True)
+    service = LoadSharingService(cluster, architecture="centralized")
+    cluster.standard_images()
+
+    # Phase 1: a pmake slice — parallel compilation fans jobs out through
+    # exec-time migration.
+    tree = SourceTree(files=6, compile_cpu=3.0, link_cpu=1.5)
+    tree.populate(cluster)
+    cluster.run(until=30.0)
+    client = service.mig_client(cluster.hosts[0])
+    pmake = Pmake(tree, client=client, max_jobs=4)
+
+    def coordinator(proc):
+        yield from pmake.run(proc)
+        return 0
+
+    pcb, _ = cluster.hosts[0].spawn_process(coordinator, name="pmake")
+    cluster.run_until_complete(pcb.task)
+
+    # Phase 2: a compressed usage window — interactive jobs, batches via
+    # the load-sharing service, user returns triggering evictions.
+    usage = UsageSimulation(
+        cluster,
+        service,
+        duration=cluster.sim.now + 2500.0,
+        activity=ActivityModel(seed=7),
+        think_time=25.0,
+        batch_probability=0.3,
+        batch_width=4,
+        batch_unit_cpu=120.0,
+        seed=7,
+    )
+    report = usage.run()
+
+    # Phase 3: a deterministic eviction — export a long job to an idle
+    # host, then have that host's user return.
+    src, dst = cluster.hosts[0], cluster.hosts[1]
+    dst.user_leaves()
+
+    def long_job(proc):
+        yield from proc.compute(60.0)
+        return 0
+
+    pcb, _ = src.spawn_process(long_job, name="guest")
+    manager = cluster.manager_of(src)
+
+    def driver():
+        from repro.sim import Sleep
+
+        yield Sleep(1.0)
+        yield from manager.migrate(pcb, dst.address, reason="manual")
+        yield Sleep(5.0)
+        dst.user_input()        # the eviction daemon reclaims dst
+
+    from repro.sim import spawn
+
+    spawn(cluster.sim, driver(), name="eviction-driver")
+    cluster.run_until_complete(pcb.task)
+    return cluster, report
+
+
+def _fingerprint(cluster, report) -> dict:
+    trace_text = "\n".join(str(record) for record in cluster.tracer.records)
+    report_text = json.dumps(
+        {key: str(value) for key, value in sorted(report.rows().items())}
+    )
+    records = cluster.migration_records()
+    summary = {
+        "trace_sha256": hashlib.sha256(trace_text.encode()).hexdigest(),
+        "report_sha256": hashlib.sha256(report_text.encode()).hexdigest(),
+        "trace_records": len(cluster.tracer.records),
+        "migrations": len([r for r in records if not r.refused]),
+        "evictions": sum(len(e.events) for e in cluster.evictors),
+        "final_time": round(cluster.sim.now, 6),
+    }
+    return summary
+
+
+def test_fixed_seed_run_matches_golden():
+    cluster, report = _run_scenario()
+    summary = _fingerprint(cluster, report)
+    # The scenario must actually exercise the paths it claims to guard.
+    assert summary["migrations"] > 0
+    assert summary["evictions"] > 0
+    assert summary["trace_records"] > 100
+    if os.environ.get("REGEN_ENGINE_GOLDEN") == "1" or not GOLDEN_PATH.is_file():
+        GOLDEN_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert summary == golden, (
+        "fixed-seed run diverged from the golden fingerprint — the engine "
+        "reordered same-instant events (or the scenario changed); diff: "
+        f"{ {k: (golden.get(k), summary.get(k)) for k in set(golden) | set(summary) if golden.get(k) != summary.get(k)} }"
+    )

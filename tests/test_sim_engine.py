@@ -155,3 +155,186 @@ def test_detached_task_failure_surfaces_in_run():
     spawn(sim, bomb(), name="bomb")
     with pytest.raises(ValueError, match="boom"):
         sim.run()
+
+
+# ----------------------------------------------------------------------
+# Fast-path internals: ready queue, defer, schedule_many, compaction,
+# O(1) pending_events accounting.
+# ----------------------------------------------------------------------
+def test_pending_events_counter_matches_slow_recount():
+    sim = Simulator()
+    handles = []
+    for i in range(20):
+        handles.append(sim.schedule(1.0 + i, lambda: None))
+    for i in range(10):
+        handles.append(sim.call_soon(lambda: None))
+    sim.defer(lambda: None)
+    assert sim.pending_events == 31 == sim._pending_events_slow()
+    for handle in handles[::3]:
+        handle.cancel()
+    assert sim.pending_events == sim._pending_events_slow()
+    sim.run(until=5.0)
+    assert sim.pending_events == sim._pending_events_slow()
+    sim.run()
+    assert sim.pending_events == 0 == sim._pending_events_slow()
+
+
+def test_defer_keeps_fifo_order_with_call_soon_and_schedule_zero():
+    sim = Simulator()
+    order = []
+    sim.call_soon(order.append, "a")
+    sim.defer(order.append, "b")
+    sim.schedule(0.0, order.append, "c")
+    sim.defer(order.append, "d")
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_ready_events_interleave_with_same_time_heap_events():
+    # A zero-delay event scheduled *before* a timed event that fires at
+    # the same instant must still respect global FIFO (seq) order.
+    sim = Simulator()
+    order = []
+
+    def at_two():
+        sim.schedule(1.0, order.append, "heap")      # fires at t=3
+        sim.schedule(1.0, spill)                      # fires at t=3
+
+    def spill():
+        sim.call_soon(order.append, "ready")          # also t=3, later seq
+
+    sim.schedule(2.0, at_two)
+    sim.run()
+    assert order == ["heap", "ready"]
+    assert sim.now == 3.0
+
+
+def test_schedule_many_zero_delay_preserves_order():
+    sim = Simulator()
+    order = []
+    sim.call_soon(order.append, "before")
+    count = sim.schedule_many(0.0, [(order.append, (i,)) for i in range(5)])
+    sim.call_soon(order.append, "after")
+    assert count == 5
+    sim.run()
+    assert order == ["before", 0, 1, 2, 3, 4, "after"]
+
+
+def test_schedule_many_timed_matches_individual_schedules():
+    sim_a, sim_b = Simulator(), Simulator()
+    order_a, order_b = [], []
+    sim_a.schedule(2.0, order_a.append, "x")
+    sim_a.schedule_many(1.0, [(order_a.append, (i,)) for i in range(3)])
+    sim_b.schedule(2.0, order_b.append, "x")
+    for i in range(3):
+        sim_b.schedule(1.0, order_b.append, i)
+    assert sim_a.run() == sim_b.run()
+    assert order_a == order_b == [0, 1, 2, "x"]
+
+
+def test_schedule_many_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule_many(-1.0, [(print, ())])
+
+
+def test_cancel_call_soon_handle():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_soon(fired.append, "x")
+    sim.call_soon(fired.append, "y")
+    handle.cancel()
+    sim.run()
+    assert fired == ["y"]
+    assert sim.pending_events == 0 == sim._pending_events_slow()
+
+
+def test_events_fired_counts_dispatches_not_cancellations():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(1.0 + i, lambda: None)
+    sim.schedule(9.0, lambda: None).cancel()
+    sim.defer(lambda: None)
+    sim.run()
+    assert sim.events_fired == 6
+
+
+def test_timeout_churn_keeps_heap_bounded():
+    # The E10 pattern that used to grow the heap without bound: many
+    # long timeouts scheduled and cancelled almost immediately.
+    sim = Simulator()
+    fired = []
+    churn = 10_000
+
+    def tick(i):
+        handle = sim.schedule(1000.0, fired.append, i)   # the "timeout"
+        handle.cancel()                                  # ...never needed
+        if i + 1 < churn:
+            sim.schedule(0.001, tick, i + 1)
+
+    sim.schedule(0.001, tick, 0)
+    sim.run()
+    assert fired == []
+    assert sim.heap_compactions > 0
+    # Without compaction 10k corpses would sit in the heap; with it the
+    # heap never holds more than a small constant of live entries.
+    assert len(sim._heap) < 200
+    assert sim.pending_events == 0 == sim._pending_events_slow()
+
+
+def test_cancelled_closure_is_not_pinned_by_heap_corpse():
+    import gc
+    import weakref
+
+    class Canary:
+        pass
+
+    sim = Simulator()
+    canary = Canary()
+    ref = weakref.ref(canary)
+    handle = sim.schedule(1000.0, lambda obj: None, canary)
+    handle.cancel()
+    del canary
+    gc.collect()
+    # The corpse may still sit in the heap (handle is alive), but cancel
+    # dropped fn/args so the payload is collectable immediately.
+    assert ref() is None
+    assert handle.cancelled
+
+
+def test_run_until_pops_each_live_event_once():
+    # Regression for the old peek-then-step double pop: count real heap
+    # pops during a bounded run.
+    import heapq as _heapq
+
+    from repro.sim import engine as engine_mod
+
+    sim = Simulator()
+    for i in range(100):
+        sim.schedule(1.0 + i, lambda: None)
+    pops = [0]
+    original = _heapq.heappop
+
+    def counting_pop(heap):
+        pops[0] += 1
+        return original(heap)
+
+    engine_mod.heapq.heappop = counting_pop
+    try:
+        sim.run(until=50.5)
+        sim.run()
+    finally:
+        engine_mod.heapq.heappop = original
+    assert sim.events_fired == 100
+    assert pops[0] == 100
+
+
+def test_late_cancel_after_fire_does_not_corrupt_accounting():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(2.0, handle.cancel)        # cancel after it already ran
+    sim.schedule(3.0, fired.append, "y")
+    sim.run()
+    assert fired == ["x", "y"]
+    assert sim.pending_events == 0 == sim._pending_events_slow()
