@@ -121,6 +121,163 @@ def cmd_report(_args: argparse.Namespace) -> int:
     return 0
 
 
+class _CaptureClusters:
+    """Context manager that wraps ``SpriteCluster.__init__`` so every
+    cluster a traced workload builds comes up with observability
+    installed (spans + tracer on, metrics hooks attached)."""
+
+    def __init__(self, sample_period: Optional[float] = None):
+        self.sample_period = sample_period
+        self.captured: list = []
+
+    def __enter__(self) -> "_CaptureClusters":
+        from .cluster import SpriteCluster
+        from .obs import ClusterObservability
+
+        self._original = SpriteCluster.__init__
+        original = self._original
+        captured = self.captured
+        period = self.sample_period
+
+        def patched(cluster, *cargs, **ckwargs):
+            original(cluster, *cargs, **ckwargs)
+            obs = ClusterObservability.install(
+                cluster, spans=True, trace=True, sample_period=period
+            )
+            captured.append((cluster, obs))
+
+        SpriteCluster.__init__ = patched
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        from .cluster import SpriteCluster
+
+        SpriteCluster.__init__ = self._original
+
+
+def _trace_builtin_migration() -> None:
+    """Fixed scenario: two jobs, two migrations, fully deterministic."""
+    from .cluster import SpriteCluster
+    from .fs import OpenMode
+    from .sim import Sleep, spawn
+
+    cluster = SpriteCluster(workstations=3, start_daemons=False)
+    src, dst1, dst2 = cluster.hosts[0], cluster.hosts[1], cluster.hosts[2]
+
+    def job(proc):
+        fd = yield from proc.open(
+            f"/trace-{proc.pcb.pid}", OpenMode.WRITE | OpenMode.CREATE
+        )
+        yield from proc.compute(2.0)
+        yield from proc.close(fd)
+        return proc.pcb.current
+
+    pcb1, _ = src.spawn_process(job, name="job1")
+    pcb2, _ = src.spawn_process(job, name="job2")
+
+    def driver():
+        yield Sleep(0.5)
+        manager = cluster.managers[src.address]
+        yield from manager.migrate(pcb1, dst1.address, reason="offload")
+        yield from manager.migrate(pcb2, dst2.address, reason="offload")
+
+    spawn(cluster.sim, driver(), name="trace-driver")
+    cluster.run_until_complete(pcb1.task)
+    cluster.run_until_complete(pcb2.task)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        migration_breakdowns,
+        render_flame,
+        render_span_summary,
+        spans_to_chrome_trace,
+        trace_to_jsonl,
+    )
+
+    out_dir = pathlib.Path(args.out) if args.out else (
+        pathlib.Path("traces") / args.target
+    )
+    capture = _CaptureClusters(sample_period=args.sample)
+    with capture:
+        if args.target == "migration":
+            _trace_builtin_migration()
+        elif args.target in DEMOS:
+            examples = _find_dir("examples")
+            if examples is None:
+                print("error: examples/ not found (run from a source "
+                      "checkout)", file=sys.stderr)
+                return 2
+            runpy.run_path(str(examples / DEMOS[args.target]),
+                           run_name="__main__")
+        else:
+            benchmarks = _find_dir("benchmarks")
+            if benchmarks is None:
+                print("error: benchmarks/ not found (run from a source "
+                      "checkout)", file=sys.stderr)
+                return 2
+            import pytest
+
+            code = pytest.main(
+                [str(benchmarks / EXPERIMENTS[args.target]),
+                 "--benchmark-only", "-q", "-x"]
+            )
+            if code != 0:
+                print(f"warning: experiment exited with {code}; exporting "
+                      "whatever was captured", file=sys.stderr)
+    if not capture.captured:
+        print("error: the workload never built a SpriteCluster; nothing "
+              "to trace", file=sys.stderr)
+        return 1
+
+    records = [r for cluster, _obs in capture.captured
+               for r in cluster.tracer.records]
+    spans = [s for _cluster, obs in capture.captured
+             for s in obs.spans.finished]
+
+    # Filters ----------------------------------------------------------
+    if args.kinds:
+        wanted = {k.strip() for k in args.kinds.split(",") if k.strip()}
+        records = [r for r in records if r.kind in wanted]
+    if args.host:
+        records = [r for r in records if args.host in r.source]
+        spans = [s for s in spans if args.host in s.source]
+    if args.span:
+        prefixes = tuple(p.strip() for p in args.span.split(",") if p.strip())
+        spans = [s for s in spans if s.name.startswith(prefixes)]
+
+    # Artifacts --------------------------------------------------------
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_to_jsonl(records, out_dir / "trace.jsonl")
+    spans_to_chrome_trace(spans, out_dir / "trace_chrome.json")
+    snapshots = [obs.snapshot() for _cluster, obs in capture.captured]
+    import json
+
+    (out_dir / "metrics.json").write_text(
+        json.dumps(snapshots, indent=1, sort_keys=True) + "\n"
+    )
+    summary = render_span_summary(spans)
+    flame = render_flame(spans)
+    (out_dir / "summary.txt").write_text(summary + "\n\n" + flame + "\n")
+
+    # Console report ---------------------------------------------------
+    print(f"captured {len(capture.captured)} cluster(s), "
+          f"{len(records)} trace records, {len(spans)} spans")
+    print(f"\n{summary}\n")
+    breakdowns = migration_breakdowns(spans)
+    if breakdowns:
+        print("migrations:")
+        for row in breakdowns:
+            status = "refused" if row["refused"] else "ok"
+            print(f"  pid {row['pid']} {row['source']}→{row['target']} "
+                  f"({row['reason']}, {status}): total {row['total']:.4f}s "
+                  f"freeze {row['freeze']:.4f}s")
+        print()
+    print(f"wrote trace.jsonl, trace_chrome.json, metrics.json, summary.txt "
+          f"to {out_dir}/")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     benchmarks = _find_dir("benchmarks")
     if benchmarks is None:
@@ -149,6 +306,30 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
     sub.add_parser("report", help="stitch benchmark artifacts into one report")
+    trace = sub.add_parser(
+        "trace",
+        help="run a workload with spans+metrics on and export the trace",
+    )
+    trace.add_argument(
+        "target",
+        choices=["migration"] + sorted(DEMOS) + sorted(EXPERIMENTS),
+        help="'migration' (builtin fixed scenario), a demo, or an experiment",
+    )
+    trace.add_argument("--out", default=None,
+                       help="output directory (default traces/<target>/)")
+    trace.add_argument("--kinds", default=None,
+                       help="comma-separated record kinds to keep in "
+                            "trace.jsonl (e.g. span,migrated,call)")
+    trace.add_argument("--host", default=None,
+                       help="keep only records/spans whose source contains "
+                            "this substring (e.g. ws1)")
+    trace.add_argument("--span", default=None,
+                       help="comma-separated span-name prefixes to keep "
+                            "(e.g. mig.,rpc.)")
+    trace.add_argument("--sample", type=float, default=None,
+                       help="metrics sampling period in sim seconds "
+                            "(off by default: a sampler keeps the event "
+                            "queue non-empty)")
     return parser
 
 
@@ -160,6 +341,7 @@ def main(argv: Optional[list] = None) -> int:
         "demo": cmd_demo,
         "experiment": cmd_experiment,
         "report": cmd_report,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -200,5 +200,20 @@ class SpriteCluster:
 
         return collect_records(self.managers.values())
 
+    def observability(
+        self,
+        spans: bool = True,
+        trace: bool = False,
+        sample_period: Optional[float] = None,
+    ):
+        """Install and return a :class:`~repro.obs.ClusterObservability`
+        for this cluster (spans, metrics hooks, optional sampler).  See
+        ``docs/observability.md``."""
+        from .obs import ClusterObservability
+
+        return ClusterObservability.install(
+            self, spans=spans, trace=trace, sample_period=sample_period
+        )
+
     def total_cpu_seconds(self) -> float:
         return sum(host.cpu.total_demand for host in self.hosts)

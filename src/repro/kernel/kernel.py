@@ -383,14 +383,25 @@ class SpriteKernel:
     ) -> Generator[Effect, None, Any]:
         """Send a home-class call from a remote process to its home."""
         self.calls_forwarded_home += 1
-        return (
-            yield from self.rpc.call(
-                pcb.home,
-                "proc.home_call",
-                {"pid": pcb.pid, "call": call, "args": args,
-                 "cpu_time": pcb.cpu_time},
-            )
+        spans = self.rpc.spans
+        started = self.sim.now if spans.enabled else 0.0
+        value = yield from self.rpc.call(
+            pcb.home,
+            "proc.home_call",
+            {"pid": pcb.pid, "call": call, "args": args,
+             "cpu_time": pcb.cpu_time},
         )
+        if spans.enabled:
+            spans.record(
+                "kernel.forward",
+                f"kern:{self.node.name}",
+                started,
+                self.sim.now,
+                call=call,
+                pid=pcb.pid,
+                home=pcb.home,
+            )
+        return value
 
     # ------------------------------------------------------------------
     # Signals

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Iterable, List, Optional, Sequence
 
 from ..kernel import Host
+from ..obs.spans import SpanTracer
 from ..sim import Effect
 
 __all__ = ["SelectorMetrics", "HostSelector", "install_accept_hooks"]
@@ -46,6 +47,7 @@ class HostSelector:
     def __init__(self, host: Host):
         self.host = host
         self.metrics = SelectorMetrics()
+        self.spans = SpanTracer.for_tracer(host.tracer)
 
     def request(
         self, n: int = 1, exclude: Sequence[int] = ()
@@ -69,6 +71,16 @@ class HostSelector:
             self.metrics.granted += len(granted)
         else:
             self.metrics.denied += 1
+        spans = self.spans
+        if spans.enabled:
+            spans.record(
+                "select.request",
+                f"select:{self.host.name}",
+                started,
+                self.host.sim.now,
+                selector=self.name,
+                granted=len(granted),
+            )
         return granted
 
 

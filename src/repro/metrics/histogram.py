@@ -9,7 +9,7 @@ one bucket width — plenty for shape comparisons.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 __all__ = ["LatencyHistogram"]
 
@@ -88,3 +88,20 @@ class LatencyHistogram:
         self.total += other.total
         self.max_value = max(self.max_value, other.max_value)
         return self
+
+    @classmethod
+    def merge_all(
+        cls, histograms: Iterable["LatencyHistogram"]
+    ) -> "LatencyHistogram":
+        """A fresh histogram holding the union of ``histograms``.
+
+        Used for cluster-wide rollups of per-host timers; the inputs
+        are left untouched.  An empty iterable yields an empty
+        histogram with default buckets.
+        """
+        merged = None
+        for histogram in histograms:
+            if merged is None:
+                merged = cls(histogram.min_value, histogram.factor)
+            merged.merge(histogram)
+        return merged if merged is not None else cls()

@@ -9,7 +9,12 @@ workstations for returning users.  :mod:`.stats` aggregates telemetry.
 
 from .eviction import EvictionDaemon, EvictionEvent
 from .mechanism import MigrationManager, MigrationRecord, MigrationRefused
-from .stats import collect_records, records_by_reason, summarize_records
+from .stats import (
+    collect_records,
+    records_by_reason,
+    refusal_reasons,
+    summarize_records,
+)
 from .vm import (
     POLICIES,
     CopyOnReference,
@@ -37,5 +42,6 @@ __all__ = [
     "collect_records",
     "make_policy",
     "records_by_reason",
+    "refusal_reasons",
     "summarize_records",
 ]

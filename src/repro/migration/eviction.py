@@ -98,6 +98,17 @@ class EvictionDaemon:
             records=records,
         )
         self.events.append(event)
+        spans = self.manager.spans
+        if spans.enabled:
+            spans.record(
+                "evict.reclaim",
+                f"evict:{self.host.name}",
+                started,
+                self.host.sim.now,
+                victims=event.victims,
+            )
+        if self.manager.obs is not None:
+            self.manager.obs.on_eviction(event)
         if self.host.tracer.enabled:
             self.host.tracer.emit(
                 self.host.sim.now,

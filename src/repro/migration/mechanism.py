@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Union
 from ..config import ClusterParams
 from ..kernel import Host, MigrationTicket, Pcb, ProcState, SpriteKernel
 from ..net import Reply, RpcError
+from ..obs.spans import Span, SpanTracer
 from ..sim import Effect, SimEvent, Tracer
 from .vm import FlushToServer, VmOutcome, VmPolicy, make_policy
 
@@ -96,6 +97,12 @@ class MigrationManager:
         self.policy: VmPolicy = policy
         self.accept_hook = accept_hook
         self.records: List[MigrationRecord] = []
+        #: Span tracer shared cluster-wide (one per Tracer); disabled by
+        #: default, so span sites cost one branch each.
+        self.spans: SpanTracer = SpanTracer.for_tracer(host.tracer)
+        #: Metrics hook, set by ``ClusterObservability.install``; when
+        #: ``None`` (the default) no metrics work happens at all.
+        self.obs: Optional[Any] = None
         #: Accept timestamps of migrations not yet installed; acceptance
         #: policies count these against guest caps (flood prevention,
         #: [BSW89]).  Entries expire so an aborted transfer cannot leak
@@ -158,10 +165,16 @@ class MigrationManager:
             resume=SimEvent(self.sim, f"resume:{pcb.pid}"),
         )
         record = self._new_record(pcb, target, reason)
+        root = self._root_span(record)
         # Negotiate and pre-copy while the process keeps running.
-        yield from self._negotiate(pcb, target, record)
+        yield from self._negotiate(pcb, target, record, root)
+        negotiated_at = self.sim.now
+        self._phase(root, "mig.negotiate", record.started, negotiated_at)
         pre_bytes = yield from self.policy.pre_freeze(self, pcb, target)
         record.detail["pre_freeze_bytes"] = pre_bytes
+        precopied_at = self.sim.now
+        self._phase(root, "mig.vm_pre", negotiated_at, precopied_at,
+                    bytes=pre_bytes)
         # Ask the process to park at its next safe point.
         pcb.migration_ticket = ticket
         if pcb.task is not None and pcb.interruptible:
@@ -172,24 +185,29 @@ class MigrationManager:
         if index == 1:
             # The process exited before reaching a safe point.
             pcb.migration_ticket = None
-            record.refused = True
-            record.ended = self.sim.now
-            record.detail["refusal"] = "process exited before freeze"
-            self.records.append(record)
-            raise MigrationRefused(
-                f"pid {pcb.pid} exited before it could be migrated"
+            self._refuse(
+                record,
+                "process exited before freeze",
+                f"pid {pcb.pid} exited before it could be migrated",
+                root,
             )
         record.freeze_started = self.sim.now
+        self._phase(root, "mig.wait_safe_point", precopied_at,
+                    record.freeze_started)
         try:
-            yield from self._frozen_transfer(pcb, target, record, skip_vm=False)
+            yield from self._frozen_transfer(
+                pcb, target, record, skip_vm=False, root=root
+            )
         finally:
             # Whatever happened, the process must not stay frozen: on an
             # abort it resumes right here on the source.
             record.freeze_ended = self.sim.now
             pcb.migration_ticket = None
             ticket.resume.trigger()
+            self._phase(root, "mig.freeze", record.freeze_started,
+                        record.freeze_ended)
         record.ended = self.sim.now
-        self._finish_record(record)
+        self._finish_record(record, root)
         return record
 
     def migrate_self(
@@ -200,12 +218,19 @@ class MigrationManager:
         transfer is one freeze."""
         self._check_eligible(pcb, target)
         record = self._new_record(pcb, target, "self")
-        yield from self._negotiate(pcb, target, record)
+        root = self._root_span(record)
+        yield from self._negotiate(pcb, target, record, root)
         record.freeze_started = self.sim.now
-        yield from self._frozen_transfer(pcb, target, record, skip_vm=False)
+        self._phase(root, "mig.negotiate", record.started,
+                    record.freeze_started)
+        yield from self._frozen_transfer(
+            pcb, target, record, skip_vm=False, root=root
+        )
         record.freeze_ended = self.sim.now
+        self._phase(root, "mig.freeze", record.freeze_started,
+                    record.freeze_ended)
         record.ended = self.sim.now
-        self._finish_record(record)
+        self._finish_record(record, root)
         return record
 
     def migrate_for_exec(
@@ -215,8 +240,11 @@ class MigrationManager:
         self._check_eligible(pcb, target)
         record = self._new_record(pcb, target, "exec")
         record.detail["arg_bytes"] = arg_bytes
-        yield from self._negotiate(pcb, target, record)
+        root = self._root_span(record)
+        yield from self._negotiate(pcb, target, record, root)
         record.freeze_started = self.sim.now
+        self._phase(root, "mig.negotiate", record.started,
+                    record.freeze_started)
         # Discard the old address space outright (exec replaces it).
         if pcb.vm.backing is not None and pcb.vm.backing.handle_id >= 0:
             yield from pcb.vm.backing.remove()
@@ -224,11 +252,14 @@ class MigrationManager:
         pcb.vm.size = 0
         pcb.vm.evict_resident()
         yield from self._frozen_transfer(
-            pcb, target, record, skip_vm=True, extra_bytes=arg_bytes
+            pcb, target, record, skip_vm=True, extra_bytes=arg_bytes,
+            root=root,
         )
         record.freeze_ended = self.sim.now
+        self._phase(root, "mig.freeze", record.freeze_started,
+                    record.freeze_ended)
         record.ended = self.sim.now
-        self._finish_record(record)
+        self._finish_record(record, root)
         return record
 
     def evict_all_foreign(self, reason: str = "eviction") -> Generator[Effect, None, List[MigrationRecord]]:
@@ -266,8 +297,63 @@ class MigrationManager:
             started=self.sim.now,
         )
 
+    # ------------------------------------------------------------------
+    # Span plumbing.  ``root`` is None whenever spans are disabled, so
+    # every downstream site is a single ``is not None`` test.
+    # ------------------------------------------------------------------
+    def _root_span(self, record: MigrationRecord) -> Optional[Span]:
+        """Open the ``mig.migrate`` root span for one migration."""
+        spans = self.spans
+        if not spans.enabled:
+            return None
+        return spans.start(
+            "mig.migrate",
+            f"mig:{self.host.name}",
+            t=record.started,
+            pid=record.pid,
+            src=record.source,
+            dst=record.target,
+            reason=record.reason,
+        )
+
+    def _phase(
+        self, root: Optional[Span], name: str, start: float, end: float,
+        **attrs: Any,
+    ) -> None:
+        """Record one lifecycle phase as a child of ``root``.
+
+        Phases are emitted with explicit boundaries so consecutive
+        phases are contiguous: their durations sum exactly to the
+        root's extent (``MigrationRecord.total_time``).
+        """
+        if root is not None:
+            self.spans.record(name, root.source, start, end, parent=root,
+                              **attrs)
+
+    def _refuse(
+        self,
+        record: MigrationRecord,
+        why: str,
+        message: str,
+        root: Optional[Span] = None,
+    ) -> None:
+        """Finalize a refused migration and raise ``MigrationRefused``."""
+        record.refused = True
+        record.ended = self.sim.now
+        record.detail["refusal"] = why
+        self.records.append(record)
+        if self.obs is not None:
+            self.obs.on_migration(record)
+        if root is not None:
+            root.annotate(refused=True, why=why).finish(record.ended)
+        raise MigrationRefused(message)
+
     def _negotiate(
-        self, pcb: Pcb, target: int, record: MigrationRecord
+        self,
+        pcb: Pcb,
+        target: int,
+        record: MigrationRecord,
+        root: Optional[Span] = None,
     ) -> Generator[Effect, None, None]:
         try:
             answer = yield from self.host.rpc.call(
@@ -286,12 +372,12 @@ class MigrationManager:
             # Unreachable target: abort cleanly, process stays put.
             answer = {"accept": False, "why": f"target unreachable: {err}"}
         if not answer.get("accept"):
-            record.refused = True
-            record.ended = self.sim.now
-            record.detail["refusal"] = answer.get("why", "unspecified")
-            self.records.append(record)
-            raise MigrationRefused(
-                f"host {target} refused pid {pcb.pid}: {answer.get('why')}"
+            why = answer.get("why", "unspecified")
+            self._refuse(
+                record,
+                why,
+                f"host {target} refused pid {pcb.pid}: {answer.get('why')}",
+                root,
             )
 
     def _frozen_transfer(
@@ -301,13 +387,22 @@ class MigrationManager:
         record: MigrationRecord,
         skip_vm: bool,
         extra_bytes: int = 0,
+        root: Optional[Span] = None,
     ) -> Generator[Effect, None, None]:
         params = self.params
+        step_started = self.sim.now
         # -- virtual memory -------------------------------------------------
         if not skip_vm:
             record.vm = yield from self.policy.during_freeze(self, pcb, target)
+            if root is not None:
+                step_started = self._step(
+                    root, "mig.vm_transfer", step_started,
+                    bytes=record.vm.bytes_total, policy=record.policy,
+                )
         # -- kernel state packaging (per-module encapsulation, §4.5) ---------
         yield from self.host.cpu.consume(params.migration_state_cpu)
+        if root is not None:
+            step_started = self._step(root, "mig.state_pack", step_started)
         # -- open streams ---------------------------------------------------
         stream_states = []
         for fd in sorted(pcb.streams):
@@ -317,6 +412,11 @@ class MigrationManager:
         record.streams_moved = len(stream_states)
         record.stream_bytes = len(stream_states) * params.stream_transfer_bytes
         record.state_bytes = params.migration_state_bytes + extra_bytes
+        if root is not None:
+            step_started = self._step(
+                root, "mig.streams", step_started,
+                count=record.streams_moved,
+            )
         # -- ship the state and install at the target -------------------------
         payload = {
             "pcb": pcb,
@@ -333,12 +433,16 @@ class MigrationManager:
             # point): abort — pull the stream references back and leave
             # the process running here, unharmed.
             yield from self._rollback_streams(pcb, target, stream_states)
-            record.refused = True
-            record.ended = self.sim.now
-            record.detail["refusal"] = f"install failed: {err}"
-            self.records.append(record)
-            raise MigrationRefused(
-                f"target {target} failed during transfer of pid {pcb.pid}: {err}"
+            self._refuse(
+                record,
+                f"install failed: {err}",
+                f"target {target} failed during transfer of pid {pcb.pid}: "
+                f"{err}",
+                root,
+            )
+        if root is not None:
+            step_started = self._step(
+                root, "mig.install", step_started, bytes=wire_bytes,
             )
         # -- detach locally; tell the home where the process went -------------
         source = self.address
@@ -349,6 +453,9 @@ class MigrationManager:
                 "mig.update_location",
                 {"pid": pcb.pid, "current": target},
             )
+            if root is not None:
+                self._step(root, "mig.update_home", step_started,
+                           home=pcb.home)
         pcb.migrations += 1
         if self.tracer.enabled:
             self.tracer.emit(
@@ -360,6 +467,16 @@ class MigrationManager:
                 reason=record.reason,
                 streams=record.streams_moved,
             )
+
+    def _step(
+        self, root: Span, name: str, started: float, **attrs: Any
+    ) -> float:
+        """Record one transfer sub-step span ending now; returns now."""
+        now = self.sim.now
+        # span-guard: caller (only invoked under ``if root is not None``)
+        self.spans.record(name, root.source, started, now, parent=root,
+                          **attrs)
+        return now
 
     def _rollback_streams(
         self, pcb: Pcb, target: int, stream_states
@@ -387,8 +504,14 @@ class MigrationManager:
             except RpcError:
                 continue  # server unreachable too; nothing more to do
 
-    def _finish_record(self, record: MigrationRecord) -> None:
+    def _finish_record(
+        self, record: MigrationRecord, root: Optional[Span] = None
+    ) -> None:
         self.records.append(record)
+        if self.obs is not None:
+            self.obs.on_migration(record)
+        if root is not None:
+            root.finish(record.ended, streams=record.streams_moved)
 
     # ------------------------------------------------------------------
     # Target-side services

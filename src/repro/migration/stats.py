@@ -8,7 +8,12 @@ import numpy as np
 
 from .mechanism import MigrationManager, MigrationRecord
 
-__all__ = ["collect_records", "summarize_records", "records_by_reason"]
+__all__ = [
+    "collect_records",
+    "summarize_records",
+    "records_by_reason",
+    "refusal_reasons",
+]
 
 
 def collect_records(managers: Iterable[MigrationManager]) -> List[MigrationRecord]:
@@ -25,6 +30,21 @@ def records_by_reason(records: Iterable[MigrationRecord]) -> Dict[str, List[Migr
     for record in records:
         grouped.setdefault(record.reason, []).append(record)
     return grouped
+
+
+def refusal_reasons(records: Iterable[MigrationRecord]) -> Dict[str, int]:
+    """How often each refusal reason occurred (``detail['refusal']``).
+
+    Records refused without a recorded reason count under
+    ``"unspecified"``; completed migrations are ignored.
+    """
+    reasons: Dict[str, int] = {}
+    for record in records:
+        if not record.refused:
+            continue
+        why = record.detail.get("refusal", "unspecified")
+        reasons[why] = reasons.get(why, 0) + 1
+    return reasons
 
 
 def summarize_records(records: List[MigrationRecord]) -> Dict[str, float]:

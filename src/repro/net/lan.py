@@ -71,6 +71,10 @@ class Lan:
         #: Totals for metrics: messages and payload bytes carried.
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Optional per-kind byte accounting ({packet kind: bytes});
+        #: ``None`` until the observability layer installs a dict, so an
+        #: unobserved run pays only an ``is not None`` test per message.
+        self.kind_bytes: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------
     def register(self, node: NetNode) -> int:
@@ -102,6 +106,10 @@ class Lan:
         yield Sleep(self.params.net_latency)
         self.messages_sent += 1
         self.bytes_sent += packet.size
+        if self.kind_bytes is not None:
+            self.kind_bytes[packet.kind] = (
+                self.kind_bytes.get(packet.kind, 0) + packet.size
+            )
         if not dst.up:
             raise HostDownError(f"host {dst.name} is down")
         if self.tracer.enabled:
@@ -132,6 +140,8 @@ class Lan:
         yield Sleep(self.params.net_latency)
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        if self.kind_bytes is not None:
+            self.kind_bytes["bulk"] = self.kind_bytes.get("bulk", 0) + nbytes
         if self.tracer.enabled:
             self.tracer.emit(
                 self.sim.now, "lan", "transfer", src=src, dst=dst, size=nbytes
@@ -148,6 +158,10 @@ class Lan:
         yield Sleep(self.params.net_latency)
         self.messages_sent += 1
         self.bytes_sent += packet.size
+        if self.kind_bytes is not None:
+            self.kind_bytes[packet.kind] = (
+                self.kind_bytes.get(packet.kind, 0) + packet.size
+            )
         packet.send_time = self.sim.now
         # Fan the receiver wakeups out through one bulk scheduling call:
         # the buffer/wakeup bookkeeping stays per-channel and synchronous,

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, Optional
 
 from ..config import ClusterParams
+from ..obs.spans import SpanTracer
 from ..sim import (
     TIMED_OUT,
     ChannelClosed,
@@ -31,7 +32,7 @@ from ..sim import (
 )
 from .lan import HostDownError, Lan, NetNode, Packet
 
-__all__ = ["RpcPort", "RpcTimeout", "RpcError", "Reply"]
+__all__ = ["RpcPort", "RpcStats", "RpcTimeout", "RpcError", "Reply"]
 
 #: Default request/reply payload sizes in bytes (small control messages).
 DEFAULT_REQUEST_SIZE = 256
@@ -66,6 +67,31 @@ class _Request:
 Handler = Callable[[Any], Generator[Effect, None, Any]]
 
 
+class RpcStats:
+    """Optional per-service call/byte accounting for one port.
+
+    A port carries ``stats=None`` by default; the observability layer
+    (``ClusterObservability.install``) attaches an instance, so an
+    unobserved run pays only an ``is not None`` test per call.
+    """
+
+    __slots__ = ("calls", "call_bytes", "served", "reply_bytes")
+
+    def __init__(self) -> None:
+        self.calls: Dict[str, int] = {}
+        self.call_bytes: Dict[str, int] = {}
+        self.served: Dict[str, int] = {}
+        self.reply_bytes: Dict[str, int] = {}
+
+    def on_call(self, service: str, nbytes: int) -> None:
+        self.calls[service] = self.calls.get(service, 0) + 1
+        self.call_bytes[service] = self.call_bytes.get(service, 0) + nbytes
+
+    def on_serve(self, service: str, nbytes: int) -> None:
+        self.served[service] = self.served.get(service, 0) + 1
+        self.reply_bytes[service] = self.reply_bytes.get(service, 0) + nbytes
+
+
 class RpcPort:
     """One host's RPC endpoint: server dispatch plus client calls."""
 
@@ -91,6 +117,10 @@ class RpcPort:
         #: Metrics.
         self.calls_made = 0
         self.calls_served = 0
+        #: Optional per-service accounting; installed by the obs layer.
+        self.stats: Optional[RpcStats] = None
+        #: Cluster-wide span tracer (disabled by default).
+        self.spans = SpanTracer.for_tracer(self.tracer)
         self._server_task = spawn(
             sim, self._serve(), name=f"rpc-server:{node.name}", daemon=True
         )
@@ -119,6 +149,12 @@ class RpcPort:
                 self.fallback(packet)
 
     def _handle(self, request: _Request) -> Generator[Effect, None, None]:
+        span = None
+        if self.spans.enabled:
+            span = self.spans.start(
+                "rpc.serve", f"rpc:{self.node.name}", t=self.sim.now,
+                service=request.service, client=request.reply_to,
+            )
         handler = self._services.get(request.service)
         outcome: Any
         failure: Optional[BaseException] = None
@@ -143,15 +179,26 @@ class RpcPort:
         if isinstance(outcome, Reply):
             reply_size = outcome.size
             outcome = outcome.result
+        if self.stats is not None:
+            self.stats.on_serve(request.service, max(reply_size, 1))
         # Ship the reply back across the wire, then wake the caller.
         if not self.node.up:
+            if span is not None:
+                span.finish(self.sim.now, outcome="server-down")
             return  # server crashed mid-call: the caller will time out.
         try:
             yield from self.lan.transfer(
                 self.node.address, request.reply_to, max(reply_size, 1)
             )
         except HostDownError:
+            if span is not None:
+                span.finish(self.sim.now, outcome="caller-down")
             return  # caller went down; nothing to deliver to.
+        if span is not None:
+            span.finish(
+                self.sim.now,
+                outcome="error" if failure is not None else "ok",
+            )
         if failure is not None:
             request.reply_event.fail(failure)
         else:
@@ -181,6 +228,12 @@ class RpcPort:
         attempts = self.params.rpc_retries + 1
         if self.cpu is not None:
             yield from self.cpu.consume(self.params.rpc_cpu_overhead)
+        span = None
+        if self.spans.enabled:
+            span = self.spans.start(
+                "rpc.call", f"rpc:{self.node.name}", t=self.sim.now,
+                dst=dst, service=service, bytes=size,
+            )
         last_error: Optional[BaseException] = None
         for _attempt in range(attempts):
             reply_event = SimEvent(self.sim, name=f"reply:{service}")
@@ -199,6 +252,8 @@ class RpcPort:
                 size=size,
             )
             self.calls_made += 1
+            if self.stats is not None:
+                self.stats.on_call(service, size)
             if self.tracer.enabled:
                 self.tracer.emit(
                     self.sim.now, f"rpc:{self.node.name}", "call", dst=dst, service=service
@@ -212,14 +267,21 @@ class RpcPort:
                 yield Sleep(timeout if timeout is not None else self.params.rpc_timeout)
                 continue
             if timeout is None:
-                return (yield reply_event.wait())
+                value = yield reply_event.wait()
+                if span is not None:
+                    span.finish(self.sim.now, outcome="ok")
+                return value
             value = yield from with_timeout(reply_event.wait(), timeout)
             if value is TIMED_OUT:
                 last_error = RpcTimeout(
                     f"{service} on host {dst} timed out after {timeout}s"
                 )
                 continue
+            if span is not None:
+                span.finish(self.sim.now, outcome="ok", attempts=_attempt + 1)
             return value
+        if span is not None:
+            span.finish(self.sim.now, outcome="timeout", attempts=attempts)
         raise RpcTimeout(
             f"{service} on host {dst} unreachable after {attempts} attempt(s): "
             f"{last_error}"

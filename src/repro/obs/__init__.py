@@ -1,0 +1,48 @@
+"""Cluster-wide observability: spans, metrics, trace export.
+
+Layered on :mod:`repro.sim.trace`'s flat record stream:
+
+* :mod:`.spans`   — sim-time :class:`Span`/:class:`SpanTracer` with
+  parent links, instrumented through the migration lifecycle, host
+  selection, eviction, and RPC.
+* :mod:`.metrics` — per-host/cluster counters, gauges, and
+  histogram-backed timers with a sim-time sampler.
+* :mod:`.export`  — JSONL and Chrome trace-event exporters, text
+  summary/flame views, and span-derived migration breakdowns.
+* :mod:`.install` — :class:`ClusterObservability`, the one-call wiring
+  for a :class:`~repro.cluster.SpriteCluster` (also reachable as
+  ``cluster.observability()``).
+
+Everything is opt-in and zero-cost when off: instrumentation sites are
+guarded by ``enabled`` flags or ``is not None`` hooks, statically
+checked by ``tools/check_trace_guards.py``.  See
+``docs/observability.md`` for the span taxonomy and metric names.
+"""
+
+from .export import (
+    migration_breakdowns,
+    render_flame,
+    render_span_summary,
+    spans_to_chrome_trace,
+    trace_to_jsonl,
+)
+from .install import ClusterObservability
+from .metrics import Counter, Gauge, MetricsRegistry, MetricsSampler, Timer
+from .spans import SPAN_KIND, Span, SpanTracer
+
+__all__ = [
+    "SPAN_KIND",
+    "ClusterObservability",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "Span",
+    "SpanTracer",
+    "Timer",
+    "migration_breakdowns",
+    "render_flame",
+    "render_span_summary",
+    "spans_to_chrome_trace",
+    "trace_to_jsonl",
+]

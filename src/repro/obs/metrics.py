@@ -1,0 +1,205 @@
+"""Per-host and cluster-wide metrics: counters, gauges, timers, series.
+
+The thesis's evaluation aggregates everything per host and per cluster
+— migrations started/refused, forwarded kernel calls, RPC traffic by
+service, freeze-time distributions, month-long load traces.  This
+module is the registry those numbers live in:
+
+* :class:`Counter` — monotone event counts, labelled by host address
+  (``host=None`` is the cluster-wide/unlabelled series).
+* :class:`Gauge` — last-value-wins instantaneous readings (load
+  averages, queue depths).
+* :class:`Timer` — duration accumulators backed by
+  :class:`~repro.metrics.histogram.LatencyHistogram`, so percentile
+  summaries come out without storing every sample.
+* :class:`MetricsSampler` — polls registered probes on a sim-time
+  interval and appends ``(time, value)`` points to the registry's time
+  series, the shape the utilization plots consume.
+
+The registry is pure bookkeeping: nothing here schedules events or
+touches the simulation except the sampler, which follows the
+load-average daemon's bare-callback pattern (no task frame per tick).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..metrics.histogram import LatencyHistogram
+
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "MetricsSampler"]
+
+#: Registry key: (metric name, host address or None for cluster-wide).
+Key = Tuple[str, Optional[int]]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "host", "value")
+
+    def __init__(self, name: str, host: Optional[int]):
+        self.name = name
+        self.host = host
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """An instantaneous reading (last value wins)."""
+
+    __slots__ = ("name", "host", "value")
+
+    def __init__(self, name: str, host: Optional[int]):
+        self.name = name
+        self.host = host
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Timer:
+    """A duration accumulator with histogram-backed percentiles."""
+
+    __slots__ = ("name", "host", "histogram")
+
+    def __init__(self, name: str, host: Optional[int]):
+        self.name = name
+        self.host = host
+        self.histogram = LatencyHistogram()
+
+    def observe(self, seconds: float) -> None:
+        self.histogram.add(seconds)
+
+    def summary(self) -> Dict[str, float]:
+        return self.histogram.summary()
+
+
+class MetricsRegistry:
+    """Get-or-create store for counters/gauges/timers plus time series."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[Key, Counter] = {}
+        self.gauges: Dict[Key, Gauge] = {}
+        self.timers: Dict[Key, Timer] = {}
+        #: Sampled time series: key -> [(sim_time, value), ...].
+        self.series: Dict[Key, List[Tuple[float, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create accessors
+    # ------------------------------------------------------------------
+    def counter(self, name: str, host: Optional[int] = None) -> Counter:
+        key = (name, host)
+        found = self.counters.get(key)
+        if found is None:
+            found = self.counters[key] = Counter(name, host)
+        return found
+
+    def gauge(self, name: str, host: Optional[int] = None) -> Gauge:
+        key = (name, host)
+        found = self.gauges.get(key)
+        if found is None:
+            found = self.gauges[key] = Gauge(name, host)
+        return found
+
+    def timer(self, name: str, host: Optional[int] = None) -> Timer:
+        key = (name, host)
+        found = self.timers.get(key)
+        if found is None:
+            found = self.timers[key] = Timer(name, host)
+        return found
+
+    # ------------------------------------------------------------------
+    # Cluster-wide views
+    # ------------------------------------------------------------------
+    def total(self, name: str) -> int:
+        """Sum of a counter across all host labels."""
+        return sum(c.value for (n, _h), c in self.counters.items() if n == name)
+
+    def merged_timer(self, name: str) -> LatencyHistogram:
+        """All hosts' samples of one timer, merged into one histogram."""
+        return LatencyHistogram.merge_all(
+            timer.histogram
+            for (n, _h), timer in self.timers.items()
+            if n == name
+        )
+
+    def hosts_of(self, name: str) -> List[int]:
+        """Host labels under which ``name`` has counter entries."""
+        return sorted(
+            h for (n, h) in self.counters if n == name and h is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Time series
+    # ------------------------------------------------------------------
+    def sample_point(
+        self, name: str, host: Optional[int], time: float, value: float
+    ) -> None:
+        key = (name, host)
+        points = self.series.get(key)
+        if points is None:
+            points = self.series[key] = []
+        points.append((time, value))
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole registry as plain JSON-able data."""
+
+        def label(key: Key) -> str:
+            name, host = key
+            return name if host is None else f"{name}@{host}"
+
+        return {
+            "counters": {label(k): c.value for k, c in sorted(self.counters.items())},
+            "gauges": {label(k): g.value for k, g in sorted(self.gauges.items())},
+            "timers": {label(k): t.summary() for k, t in sorted(self.timers.items())},
+            "series": {
+                label(k): [[round(t, 6), v] for t, v in points]
+                for k, points in sorted(self.series.items())
+            },
+        }
+
+
+class MetricsSampler:
+    """Polls probes into the registry's time series on a sim interval.
+
+    Follows :class:`repro.kernel.loadavg.LoadAverage`'s pattern: a bare
+    self-rescheduling callback, so each tick is one event with no task
+    frame.  Like the load sampler, it keeps the event queue non-empty
+    forever — drive bounded runs with ``run(until=...)`` or
+    ``run_until_complete``, never an unbounded ``run()``.
+    """
+
+    def __init__(self, sim: Any, registry: MetricsRegistry, period: float = 5.0):
+        if period <= 0:
+            raise ValueError("sample period must be positive")
+        self.sim = sim
+        self.registry = registry
+        self.period = period
+        self.samples_taken = 0
+        #: (name, host, zero-arg probe) triples polled every tick.
+        self._probes: List[Tuple[str, Optional[int], Callable[[], float]]] = []
+        self._started = False
+
+    def add_probe(
+        self, name: str, host: Optional[int], probe: Callable[[], float]
+    ) -> None:
+        self._probes.append((name, host, probe))
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule(self.period, self._tick)
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        sample = self.registry.sample_point
+        for name, host, probe in self._probes:
+            sample(name, host, now, float(probe()))
+        self.samples_taken += 1
+        self.sim.schedule(self.period, self._tick)

@@ -4,14 +4,22 @@ Components emit ``(time, source, kind, detail)`` records to a shared
 :class:`Tracer`.  Tests assert on traces; benchmarks aggregate them; the
 examples print them.  Tracing is off by default and costs one predicate
 check per emit when disabled.
+
+Higher-level observability (sim-time spans, metric registries, Chrome
+trace export) lives in :mod:`repro.obs`, layered on this flat record
+stream; the tracer itself stays allocation-free when disabled.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from operator import attrgetter
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["TraceRecord", "Tracer"]
+
+_TIME_OF = attrgetter("time")
 
 
 @dataclass(frozen=True)
@@ -29,15 +37,31 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects trace records, optionally filtered by kind."""
+    """Collects trace records, optionally filtered by kind.
+
+    Filter semantics
+    ----------------
+    When ``kinds`` is set, the filter is applied **at emit time**: a
+    record whose kind is not in the set is dropped before it is stored
+    *and* before the ``sink`` sees it — attaching a sink mid-run does
+    not bypass the filter.  Consequently every query helper
+    (:meth:`of_kind`, :meth:`between`, ``len``) operates on the
+    *retained* records only; ask :meth:`accepts` to distinguish "no
+    such events happened" from "that kind is filtered out".
+    """
 
     def __init__(self, enabled: bool = False, kinds: Optional[List[str]] = None):
         self.enabled = enabled
         self.kinds = set(kinds) if kinds else None
         self.records: List[TraceRecord] = []
-        #: Optional sink called with each record as it is emitted
-        #: (e.g. ``print`` for live example output).
+        #: Optional sink called with each *retained* record as it is
+        #: emitted (e.g. ``print`` for live example output).  Records
+        #: dropped by the ``kinds`` filter never reach the sink.
         self.sink: Optional[Callable[[TraceRecord], None]] = None
+
+    def accepts(self, kind: str) -> bool:
+        """Would a record of ``kind`` be retained by this tracer?"""
+        return self.kinds is None or kind in self.kinds
 
     def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
         if not self.enabled:
@@ -50,10 +74,21 @@ class Tracer:
             self.sink(record)
 
     def of_kind(self, kind: str) -> List[TraceRecord]:
+        """Retained records of ``kind`` (always empty for filtered kinds)."""
         return [r for r in self.records if r.kind == kind]
 
-    def between(self, start: float, end: float) -> Iterator[TraceRecord]:
-        return (r for r in self.records if start <= r.time <= end)
+    def between(self, start: float, end: float) -> List[TraceRecord]:
+        """Retained records with ``start <= time <= end`` (inclusive).
+
+        Emit order is monotone in simulated time (components always
+        stamp records with the simulator's current clock), so
+        ``records`` is time-sorted and this is a binary search plus a
+        slice rather than a full scan.
+        """
+        records = self.records
+        lo = bisect_left(records, start, key=_TIME_OF)
+        hi = bisect_right(records, end, key=_TIME_OF)
+        return records[lo:hi]
 
     def clear(self) -> None:
         self.records.clear()

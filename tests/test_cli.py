@@ -54,3 +54,50 @@ def test_demo_runs_quickstart(capsys):
     assert main(["demo", "quickstart"]) == 0
     out = capsys.readouterr().out
     assert "transparency" in out
+
+
+def test_parser_accepts_trace_with_filters():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["trace", "migration", "--kinds", "span,migrated", "--host", "ws0",
+         "--span", "mig.", "--out", "/tmp/x"]
+    )
+    assert args.command == "trace"
+    assert args.target == "migration"
+    assert args.kinds == "span,migrated"
+    assert args.host == "ws0"
+    assert args.span == "mig."
+    assert args.sample is None
+    with pytest.raises(SystemExit):
+        parser.parse_args(["trace", "not-a-target"])
+
+
+def test_trace_migration_writes_artifacts(tmp_path, capsys):
+    out = tmp_path / "trace"
+    assert main(["trace", "migration", "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "migrations:" in printed
+    assert "mig.migrate" in printed
+    for name in ("trace.jsonl", "trace_chrome.json", "metrics.json",
+                 "summary.txt"):
+        assert (out / name).stat().st_size > 0, name
+    import json
+
+    doc = json.loads((out / "trace_chrome.json").read_text())
+    events = doc["traceEvents"]
+    assert events
+    assert all("ph" in e and "ts" in e and "pid" in e for e in events)
+    for line in (out / "trace.jsonl").read_text().splitlines():
+        json.loads(line)
+    json.loads((out / "metrics.json").read_text())
+
+
+def test_trace_span_filter_limits_chrome_events(tmp_path):
+    out = tmp_path / "filtered"
+    assert main(["trace", "migration", "--out", str(out),
+                 "--span", "mig."]) == 0
+    import json
+
+    doc = json.loads((out / "trace_chrome.json").read_text())
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert names and all(n.startswith("mig.") for n in names)

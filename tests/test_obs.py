@@ -1,0 +1,453 @@
+"""Tests for the observability layer: tracer queries, spans, metrics,
+exporters, and the span-derived migration breakdowns."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro import SpriteCluster
+from repro.fs import OpenMode
+from repro.migration import (
+    EvictionDaemon,
+    MigrationRecord,
+    MigrationRefused,
+    refusal_reasons,
+    summarize_records,
+)
+from repro.obs import (
+    ClusterObservability,
+    MetricsRegistry,
+    MetricsSampler,
+    SpanTracer,
+    migration_breakdowns,
+    render_flame,
+    render_span_summary,
+    spans_to_chrome_trace,
+    trace_to_jsonl,
+)
+from repro.sim import Simulator, Sleep, Tracer, run_until_complete, spawn
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------------------
+# Tracer query semantics (satellites 1 and 2)
+# ----------------------------------------------------------------------
+def _filled_tracer(times):
+    tracer = Tracer(enabled=True)
+    for t in times:
+        tracer.emit(t, "src", "tick", i=t)
+    return tracer
+
+
+def test_between_matches_linear_scan():
+    times = [0.0, 0.5, 0.5, 1.0, 2.5, 2.5, 2.5, 3.0, 10.0]
+    tracer = _filled_tracer(times)
+    for start, end in [(-1, 11), (0.5, 2.5), (0.6, 2.4), (2.5, 2.5),
+                       (3.0, 3.0), (4.0, 9.0), (10.0, 99.0), (11.0, 12.0)]:
+        expected = [r for r in tracer.records if start <= r.time <= end]
+        assert tracer.between(start, end) == expected, (start, end)
+
+
+def test_between_is_inclusive_and_returns_list():
+    tracer = _filled_tracer([1.0, 2.0, 3.0])
+    got = tracer.between(1.0, 2.0)
+    assert isinstance(got, list)
+    assert [r.time for r in got] == [1.0, 2.0]
+    assert tracer.between(5.0, 6.0) == []
+
+
+def test_kinds_filter_applies_at_emit_and_to_sink():
+    seen = []
+    tracer = Tracer(enabled=True, kinds=["keep"])
+    tracer.sink = seen.append
+    tracer.emit(1.0, "s", "keep", a=1)
+    tracer.emit(2.0, "s", "drop", a=2)
+    tracer.emit(3.0, "s", "keep", a=3)
+    # Dropped records are neither stored nor sunk; queries see only
+    # retained records.
+    assert [r.kind for r in tracer.records] == ["keep", "keep"]
+    assert [r.kind for r in seen] == ["keep", "keep"]
+    assert tracer.of_kind("drop") == []
+    assert [r.time for r in tracer.between(0.0, 9.0)] == [1.0, 3.0]
+    assert tracer.accepts("keep") and not tracer.accepts("drop")
+    assert Tracer().accepts("anything")
+
+
+def test_disabled_tracer_stores_nothing():
+    tracer = Tracer()
+    tracer.emit(1.0, "s", "kind")
+    assert len(tracer) == 0
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+def test_span_tracer_is_cached_per_tracer():
+    tracer = Tracer()
+    assert SpanTracer.for_tracer(tracer) is SpanTracer.for_tracer(tracer)
+    assert SpanTracer.for_tracer(Tracer()) is not SpanTracer.for_tracer(tracer)
+
+
+def test_span_start_finish_and_parents():
+    spans = SpanTracer(Tracer())
+    spans.enabled = True
+    root = spans.start("work", "host", t=1.0, pid=7)
+    child = root.child("step", t=1.5)
+    child.finish(t=2.0)
+    root.finish(t=3.0)
+    assert root.duration == pytest.approx(2.0)
+    assert child.parent_sid == root.sid
+    assert spans.children_of(root) == [child]
+    assert spans.roots() == [root]
+    assert spans.named("step") == [child]
+    assert not spans.open
+
+
+def test_span_record_is_born_finished():
+    spans = SpanTracer(Tracer())
+    span = spans.record("phase", "host", 1.0, 4.0, why="x")
+    assert span.finished and span.duration == pytest.approx(3.0)
+    assert not spans.open
+
+
+def test_span_finish_rejects_negative_duration():
+    spans = SpanTracer(Tracer())
+    span = spans.start("work", "host", t=5.0)
+    with pytest.raises(ValueError):
+        span.finish(t=4.0)
+
+
+def test_spans_mirror_into_tracer_only_when_tracer_enabled():
+    tracer = Tracer(enabled=True)
+    spans = SpanTracer(tracer)
+    spans.record("phase", "host", 0.0, 1.0)
+    assert [r.kind for r in tracer.records] == ["span"]
+    assert tracer.records[0].detail["dur"] == pytest.approx(1.0)
+
+    silent = Tracer()  # disabled
+    spans2 = SpanTracer(silent)
+    spans2.record("phase", "host", 0.0, 1.0)
+    assert len(silent) == 0
+    assert len(spans2) == 1  # span itself is still kept
+
+
+def test_enabling_tracer_does_not_enable_spans():
+    """PR 1's golden fixed-seed trace must not change when only the
+    flat tracer is on: span emission needs its own switch."""
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    cluster.tracer.enabled = True
+    assert not cluster.managers[cluster.hosts[0].address].spans.enabled
+    assert not cluster.hosts[0].rpc.spans.enabled
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_registry_counters_gauges_timers():
+    registry = MetricsRegistry()
+    registry.counter("mig.started", 1).inc()
+    registry.counter("mig.started", 1).inc(2)
+    registry.counter("mig.started", 2).inc()
+    assert registry.counter("mig.started", 1).value == 3
+    assert registry.total("mig.started") == 4
+    assert registry.hosts_of("mig.started") == [1, 2]
+    registry.gauge("load", 1).set(2.5)
+    assert registry.gauge("load", 1).value == 2.5
+    registry.timer("freeze", 1).observe(0.1)
+    registry.timer("freeze", 2).observe(0.3)
+    merged = registry.merged_timer("freeze")
+    assert merged.count == 2
+    assert merged.total == pytest.approx(0.4)
+    snap = registry.snapshot()
+    assert snap["counters"]["mig.started@1"] == 3
+    assert snap["timers"]["freeze@1"]["count"] == 1
+    json.dumps(snap)  # must be JSON-able
+
+
+def test_sampler_records_time_series():
+    sim = Simulator()
+    registry = MetricsRegistry()
+    sampler = MetricsSampler(sim, registry, period=1.0)
+    readings = iter(range(100))
+    sampler.add_probe("val", None, lambda: next(readings))
+    sampler.start()
+    sim.run(until=3.5)
+    points = registry.series[("val", None)]
+    assert [t for t, _v in points] == pytest.approx([1.0, 2.0, 3.0])
+    assert [v for _t, v in points] == [0.0, 1.0, 2.0]
+    assert sampler.samples_taken == 3
+    with pytest.raises(ValueError):
+        MetricsSampler(sim, registry, period=0.0)
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def _sample_spans():
+    spans = SpanTracer(Tracer())
+    root = spans.record("mig.migrate", "mig:ws0", 0.0, 1.0, pid=1,
+                        src=2, dst=3, reason="test")
+    spans.record("mig.negotiate", "mig:ws0", 0.0, 0.25, parent=root)
+    spans.record("mig.freeze", "mig:ws0", 0.25, 1.0, parent=root)
+    spans.record("rpc.call", "rpc:ws1", 0.1, 0.2, service="x")
+    return spans
+
+
+def test_chrome_trace_shape(tmp_path):
+    spans = _sample_spans()
+    path = tmp_path / "trace_chrome.json"
+    doc = spans_to_chrome_trace(spans.finished, path)
+    reloaded = json.loads(path.read_text())
+    assert reloaded == doc
+    events = doc["traceEvents"]
+    assert all("ph" in e and "ts" in e and "pid" in e for e in events)
+    spans_x = [e for e in events if e["ph"] == "X"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert len(spans_x) == 4
+    assert {m["args"]["name"] for m in metas} == {"mig:ws0", "rpc:ws1"}
+    root_event = next(e for e in spans_x if e["name"] == "mig.migrate")
+    assert root_event["ts"] == 0 and root_event["dur"] == pytest.approx(1e6)
+    # Children reference the root's span id.
+    child = next(e for e in spans_x if e["name"] == "mig.negotiate")
+    assert child["args"]["parent"] == root_event["args"]["sid"]
+
+
+def test_jsonl_roundtrip(tmp_path):
+    tracer = Tracer(enabled=True)
+    tracer.emit(1.0, "s", "k", n=1, obj=object())
+    path = tmp_path / "trace.jsonl"
+    trace_to_jsonl(tracer.records, path)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    row = json.loads(lines[0])
+    assert row["time"] == 1.0 and row["kind"] == "k"
+    assert isinstance(row["detail"]["obj"], str)  # stringified safely
+
+
+def test_text_views_render():
+    spans = _sample_spans()
+    summary = render_span_summary(spans.finished)
+    assert "mig.migrate" in summary and "count" in summary
+    flame = render_flame(spans.finished)
+    assert flame.index("mig.migrate") < flame.index("mig.negotiate")
+    assert "  mig.negotiate" in flame  # indented under the root
+    assert render_flame([]) == "(no finished spans)"
+
+
+# ----------------------------------------------------------------------
+# End-to-end: spans through a real migration
+# ----------------------------------------------------------------------
+def _migrate_once(observed=True):
+    cluster = SpriteCluster(workstations=3, start_daemons=False)
+    obs = cluster.observability(trace=True) if observed else None
+    src, dst = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        fd = yield from proc.open("/obs-test", OpenMode.WRITE | OpenMode.CREATE)
+        yield from proc.compute(2.0)
+        yield from proc.close(fd)
+        return proc.pcb.current
+
+    pcb, _ = src.spawn_process(job, name="job")
+    records = []
+
+    def driver():
+        yield Sleep(0.5)
+        manager = cluster.managers[pcb.current]
+        record = yield from manager.migrate(pcb, dst.address, reason="manual")
+        records.append(record)
+
+    spawn(cluster.sim, driver(), name="driver")
+    cluster.run_until_complete(pcb.task)
+    return cluster, obs, records[0]
+
+
+def test_migration_spans_partition_total_time():
+    _cluster, obs, record = _migrate_once()
+    rows = migration_breakdowns(obs.spans.finished)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["pid"] == record.pid
+    assert row["source"] == record.source
+    assert row["target"] == record.target
+    assert row["reason"] == record.reason
+    assert not row["refused"]
+    # The acceptance criterion: phase durations sum exactly to the
+    # record's total, and the root's extent equals it too.
+    assert row["total"] == pytest.approx(record.total_time, abs=1e-12)
+    assert row["phase_sum"] == pytest.approx(record.total_time, rel=1e-9)
+    assert row["freeze"] == pytest.approx(record.freeze_time, abs=1e-12)
+    assert row["started"] == record.started
+    assert row["ended"] == record.ended
+    # Lifecycle sub-steps exist under the root.
+    names = {s.name for s in obs.spans.finished}
+    assert {"mig.migrate", "mig.negotiate", "mig.wait_safe_point",
+            "mig.freeze", "mig.state_pack", "mig.streams",
+            "mig.install", "rpc.call", "rpc.serve"} <= names
+
+
+def test_migration_spans_are_deterministic():
+    _c1, obs1, _r1 = _migrate_once()
+    _c2, obs2, _r2 = _migrate_once()
+    key = lambda spans: [(s.name, s.start, s.end) for s in spans.finished]
+    assert key(obs1.spans) == key(obs2.spans)
+
+
+def test_migration_metrics_counters_and_timers():
+    _cluster, obs, record = _migrate_once()
+    registry = obs.registry
+    assert registry.counter("mig.started", record.source).value == 1
+    assert registry.counter("mig.completed", record.source).value == 1
+    assert registry.total("mig.refused") == 0
+    freeze = registry.timer("mig.freeze", record.source).histogram
+    assert freeze.count == 1
+    assert freeze.total == pytest.approx(record.freeze_time)
+    rpc = obs.rpc_by_service()
+    assert rpc["mig.install"]["calls"] == 1
+    assert rpc["mig.negotiate"]["served"] == 1
+    assert obs.lan_by_kind()["rpc-request"] > 0
+    json.dumps(obs.snapshot())
+
+
+def test_unobserved_cluster_collects_nothing():
+    cluster, _obs, _record = _migrate_once(observed=False)
+    manager = cluster.managers[cluster.hosts[0].address]
+    assert manager.obs is None
+    assert not manager.spans.enabled
+    assert len(manager.spans) == 0
+    assert cluster.hosts[0].rpc.stats is None
+    assert cluster.lan.kind_bytes is None
+    assert len(cluster.tracer) == 0
+
+
+def test_refused_migration_gets_refused_root_span():
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    obs = cluster.observability()
+    src, dst = cluster.hosts[0], cluster.hosts[1]
+    cluster.managers[dst.address].accept_hook = lambda args: False
+
+    def job(proc):
+        yield from proc.compute(2.0)
+
+    pcb, _ = src.spawn_process(job, name="job")
+    failures = []
+
+    def driver():
+        yield Sleep(0.2)
+        try:
+            yield from cluster.managers[src.address].migrate(pcb, dst.address)
+        except MigrationRefused as err:
+            failures.append(err)
+
+    spawn(cluster.sim, driver(), name="driver")
+    cluster.run_until_complete(pcb.task)
+    assert failures
+    roots = obs.spans.named("mig.migrate")
+    assert len(roots) == 1
+    assert roots[0].attrs["refused"] is True
+    assert roots[0].finished
+    assert obs.registry.total("mig.refused") == 1
+    assert obs.registry.total("mig.completed") == 0
+    reasons = refusal_reasons(cluster.migration_records())
+    assert reasons == {"host not accepting foreign work": 1}
+
+
+def test_eviction_span_and_metrics():
+    cluster, obs, record = _migrate_once()
+    dst_manager = cluster.managers[record.target]
+    daemon = EvictionDaemon(dst_manager, start=False)
+    # The job already finished, so re-plant a foreign process: migrate a
+    # fresh one over, then reclaim the host.
+    src, dst = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(5.0)
+
+    pcb, _ = src.spawn_process(job, name="guest")
+
+    def driver():
+        yield Sleep(0.2)
+        yield from cluster.managers[src.address].migrate(pcb, dst.address)
+        yield Sleep(0.5)
+        yield from daemon.evict_now()
+
+    run_until_complete(cluster.sim, driver(), name="driver")
+    assert len(daemon.events) == 1
+    event = daemon.events[0]
+    assert event.victims == 1
+    reclaim = obs.spans.named("evict.reclaim")
+    assert len(reclaim) == 1
+    assert reclaim[0].duration == pytest.approx(event.reclaim_seconds)
+    assert obs.registry.counter("evict.events", dst.address).value == 1
+    assert obs.registry.counter("evict.victims", dst.address).value == 1
+
+
+# ----------------------------------------------------------------------
+# migration/stats edge cases (satellite 4)
+# ----------------------------------------------------------------------
+def _record(refused=False, why=None, vm=None, total=1.0, freeze=0.5):
+    record = MigrationRecord(
+        pid=1, name="p", source=1, target=2, reason="manual",
+        policy="flush", started=0.0, ended=total,
+        freeze_started=total - freeze, freeze_ended=total,
+        refused=refused, vm=vm,
+    )
+    if why is not None:
+        record.detail["refusal"] = why
+    return record
+
+
+def test_summarize_records_all_refused():
+    records = [_record(refused=True, why="no"), _record(refused=True)]
+    summary = summarize_records(records)
+    assert summary == {"count": 0, "refused": 2}
+
+
+def test_summarize_records_vm_none():
+    summary = summarize_records([_record(vm=None)])
+    assert summary["count"] == 1
+    assert summary["vm_bytes_total"] == 0.0
+    assert summary["mean_total_s"] == pytest.approx(1.0)
+    assert summary["mean_freeze_s"] == pytest.approx(0.5)
+
+
+def test_refusal_reasons_counts_and_defaults():
+    records = [
+        _record(refused=True, why="version mismatch"),
+        _record(refused=True, why="version mismatch"),
+        _record(refused=True),        # no reason recorded
+        _record(refused=False),       # ignored
+    ]
+    assert refusal_reasons(records) == {
+        "version mismatch": 2, "unspecified": 1,
+    }
+
+
+# ----------------------------------------------------------------------
+# Tooling (satellites 3 and 6)
+# ----------------------------------------------------------------------
+def test_trace_guard_check_passes_on_tree():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_trace_guards.py")],
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_chrome_trace_validator(tmp_path):
+    spans = _sample_spans()
+    good = tmp_path / "good.json"
+    spans_to_chrome_trace(spans.finished, good)
+    validator = REPO_ROOT / "tools" / "validate_chrome_trace.py"
+    ok = subprocess.run([sys.executable, str(validator), str(good)],
+                        capture_output=True, text=True)
+    assert ok.returncode == 0, ok.stderr
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": [{"name": "x", "ph": "X"}]}))
+    fail = subprocess.run([sys.executable, str(validator), str(bad)],
+                          capture_output=True, text=True)
+    assert fail.returncode == 1

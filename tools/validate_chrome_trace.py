@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file (as written by ``repro trace``).
+
+Checks that the file parses as JSON, contains a non-empty
+``traceEvents`` list, and that every event carries the fields a trace
+viewer needs: ``ph``, ``ts``, ``pid`` (and ``dur`` for complete
+``"X"`` events, which must be non-negative).
+
+Usage: ``python tools/validate_chrome_trace.py <trace_chrome.json>``
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+
+def validate(path: pathlib.Path) -> int:
+    document = json.loads(path.read_text())
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        print(f"error: {path} has no traceEvents key", file=sys.stderr)
+        return 1
+    events = document["traceEvents"]
+    if not isinstance(events, list) or not events:
+        print(f"error: {path} traceEvents is empty", file=sys.stderr)
+        return 1
+    complete = 0
+    for index, event in enumerate(events):
+        for field in ("ph", "ts", "pid"):
+            if field not in event:
+                print(f"error: event #{index} missing {field!r}: {event}",
+                      file=sys.stderr)
+                return 1
+        if event["ph"] == "X":
+            complete += 1
+            if "dur" not in event or event["dur"] < 0:
+                print(f"error: X event #{index} lacks a non-negative dur: "
+                      f"{event}", file=sys.stderr)
+                return 1
+    if complete == 0:
+        print(f"error: {path} has no complete ('X') span events",
+              file=sys.stderr)
+        return 1
+    print(f"{path}: ok ({len(events)} events, {complete} spans)")
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return validate(pathlib.Path(sys.argv[1]))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
