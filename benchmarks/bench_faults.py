@@ -1,0 +1,241 @@
+"""P3 — Fault-injection subsystem overhead benchmark.
+
+``repro.faults`` promises to be free when unused: without an injector,
+``lan.fabric`` stays ``None`` and every fault hook in the LAN, kernel,
+and FS layers hides behind a test a healthy run already made.  This
+benchmark pins that promise down by timing the same deterministic
+cluster workload (the E10 production-usage slice from ``bench_engine``)
+in three configurations:
+
+* ``no_injector``    — the PR-2 status quo: no fault machinery at all.
+* ``idle_injector``  — a :class:`~repro.faults.FaultInjector` installed
+  with an *empty* plan: the link fabric answers every message, but no
+  fault ever fires.  This is the worst case a fault-aware-but-healthy
+  experiment pays.
+* ``chaos_smoke``    — informative only: a short ``run_chaos`` gauntlet,
+  so the cost of an actual fault storm is on record next to the idle
+  numbers.
+
+The idle/no-injector wall-time ratio is the headline: in ``--smoke``
+mode the run fails if it exceeds ``--max-overhead`` (default 1.15, i.e.
+the injector must stay within measurement noise).  The archived
+``BENCH_engine.json`` e10_slice numbers are printed for cross-PR
+context when present, but never asserted against — they were measured
+on different hardware.
+
+Run standalone (``python benchmarks/bench_faults.py [--smoke]``) or via
+the pytest entry; results are archived as ``P3_faults.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+if __package__ is None or __package__ == "":
+    _SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+    if _SRC.is_dir() and str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+try:
+    from common import archive_json, run_simulated
+except ImportError:  # imported as benchmarks.bench_faults
+    from .common import archive_json, run_simulated  # type: ignore
+
+#: Workload sizes: full mode for trend numbers, smoke mode for CI.
+#: The e10 sizes match ``bench_engine.SIZES`` so the ``no_injector``
+#: row is directly comparable with the archived engine numbers.
+SIZES = {
+    "full": {"hosts": 6, "duration": 2 * 3600.0, "chaos_duration": 120.0},
+    "smoke": {"hosts": 3, "duration": 600.0, "chaos_duration": 60.0},
+}
+
+#: Archived engine benchmark (repo root) for the informative comparison.
+ENGINE_BASELINE = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def _run_e10(hosts: int, duration: float, with_injector: bool) -> Callable[[], Any]:
+    def build_and_run():
+        from repro import SpriteCluster
+        from repro.loadsharing import LoadSharingService
+        from repro.workloads import ActivityModel, UsageSimulation
+
+        cluster = SpriteCluster(workstations=hosts, start_daemons=True, seed=3)
+        service = LoadSharingService(cluster, architecture="centralized")
+        cluster.standard_images()
+        if with_injector:
+            from repro.faults import FaultPlan
+
+            cluster.faults(plan=FaultPlan(), service=service)
+        usage = UsageSimulation(
+            cluster,
+            service,
+            duration=duration,
+            activity=ActivityModel(seed=17),
+            think_time=60.0,
+            batch_probability=0.08,
+            batch_width=4,
+            batch_unit_cpu=120.0,
+            seed=17,
+        )
+        usage.run()
+        return cluster.sim
+    return build_and_run
+
+
+def _measure(build_and_run: Callable[[], Any]) -> Tuple[float, Any]:
+    start = time.perf_counter()
+    sim = build_and_run()
+    wall = time.perf_counter() - start
+    return wall, sim
+
+
+def _timed_row(build_and_run: Callable[[], Any], repeats: int) -> Dict[str, float]:
+    walls = []
+    events = 0
+    for _ in range(repeats):
+        wall, sim = _measure(build_and_run)
+        walls.append(wall)
+        events = getattr(sim, "events_fired", 0)
+    wall = min(walls)
+    return {
+        "events": events,
+        "wall_s": round(wall, 6),
+        "events_per_s": round(events / wall) if wall > 0 else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_all(smoke: bool = False, repeats: int = 3) -> Dict[str, Any]:
+    sizes = SIZES["smoke" if smoke else "full"]
+    hosts, duration = sizes["hosts"], sizes["duration"]
+
+    # One untimed warm-up so import/allocation costs don't land on
+    # whichever configuration happens to run first (visible at repeats=1).
+    _measure(_run_e10(hosts, min(duration, 120.0), False))
+
+    results: Dict[str, Any] = {
+        "no_injector": _timed_row(_run_e10(hosts, duration, False), repeats),
+        "idle_injector": _timed_row(_run_e10(hosts, duration, True), repeats),
+    }
+    # An idle fabric must not perturb the simulation itself: no RNG
+    # draws, no extra delays, so the event count is identical.
+    assert results["idle_injector"]["events"] == results["no_injector"]["events"], (
+        "idle injector changed the event schedule: "
+        f"{results['idle_injector']['events']} != {results['no_injector']['events']}"
+    )
+    results["overhead_ratio"] = round(
+        results["idle_injector"]["wall_s"] / results["no_injector"]["wall_s"], 4
+    )
+
+    from repro.faults import run_chaos
+
+    start = time.perf_counter()
+    report = run_chaos(
+        seed=0, workstations=max(hosts, 4), duration=sizes["chaos_duration"],
+        jobs=6, job_length=4.0,
+    )
+    results["chaos_smoke"] = {
+        "wall_s": round(time.perf_counter() - start, 6),
+        "faults": report.faults,
+        "jobs_finished": report.jobs_finished,
+        "violations": len(report.violations),
+    }
+    return results
+
+
+def render(results: Dict[str, Any], mode: str) -> str:
+    lines = [
+        f"P3: fault-injection overhead ({mode} sizes, best-of-N wall time)",
+        f"{'configuration':<16} {'events':>10} {'wall_s':>10} {'events/s':>12}",
+    ]
+    for name in ("no_injector", "idle_injector"):
+        row = results[name]
+        lines.append(
+            f"{name:<16} {row['events']:>10,.0f} {row['wall_s']:>10.3f} "
+            f"{row['events_per_s']:>12,.0f}"
+        )
+    lines.append(f"idle-injector overhead: {results['overhead_ratio']:.3f}x")
+    chaos = results["chaos_smoke"]
+    lines.append(
+        f"chaos gauntlet (informative): {chaos['wall_s']:.3f}s wall, "
+        f"{chaos['faults']} faults, {chaos['jobs_finished']} jobs finished, "
+        f"{chaos['violations']} violations"
+    )
+    if mode == "full" and ENGINE_BASELINE.is_file():
+        try:
+            archived = json.loads(ENGINE_BASELINE.read_text())
+            slice_row = archived["after"]["e10_slice"]
+            lines.append(
+                "BENCH_engine.json e10_slice (archived, different hardware): "
+                f"{slice_row['events']:,} events in {slice_row['wall_s']:.3f}s"
+            )
+        except (KeyError, ValueError):
+            pass
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes + overhead ceiling check (CI mode)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--json", type=pathlib.Path, default=None,
+        help="also write results to this path (default: results/P3_faults.json)",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=1.15,
+        help="smoke mode fails if idle-injector/no-injector wall ratio "
+        "exceeds this",
+    )
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.smoke else "full"
+    results = run_all(smoke=args.smoke, repeats=args.repeats)
+    print(render(results, mode))
+    payload = {"mode": mode, "results": results}
+    if args.json is not None:
+        args.json.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[wrote {args.json}]")
+    else:
+        print(f"[wrote {archive_json('P3_faults', payload)}]")
+    if args.smoke and results["overhead_ratio"] > args.max_overhead:
+        print(
+            f"FAIL: idle injector overhead {results['overhead_ratio']:.3f}x "
+            f"exceeds ceiling {args.max_overhead:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if results["chaos_smoke"]["violations"]:
+        print(
+            f"FAIL: chaos gauntlet reported "
+            f"{results['chaos_smoke']['violations']} invariant violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_faults_overhead(benchmark, archive):
+    """pytest-benchmark entry point (``python -m repro experiment P3``)."""
+    # Best-of-3 even under pytest: the smoke runs are ~30 ms each, and
+    # single measurements at that scale are dominated by scheduler noise.
+    results = run_simulated(benchmark, lambda: run_all(smoke=True, repeats=3))
+    archive("P3_faults", render(results, "smoke"))
+    archive_json("P3_faults", {"mode": "smoke", "results": results})
+    assert results["no_injector"]["events"] > 0
+    assert results["chaos_smoke"]["violations"] == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

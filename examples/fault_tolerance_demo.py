@@ -1,22 +1,25 @@
 #!/usr/bin/env python
-"""Fault tolerance: aborted migrations, crashed servers, dead migd.
+"""Fault tolerance, driven by the ``repro.faults`` chaos engine.
 
-Three vignettes reproducing the thesis's fault-handling arguments:
+Four vignettes reproducing the thesis's fault-handling arguments:
 
-1. A migration target dies after accepting: the transfer aborts before
-   the commit point and the process resumes at the source, unharmed.
+1. A migration target crashes after accepting: the transfer aborts
+   before the commit point and the process resumes at the source.
 2. The central host-selection server crashes: requests degrade to
    local execution; after a restart, hosts re-announce within one
-   availability period and selection resumes (the thesis's
-   restart-beats-replication position).
+   availability period (the thesis's restart-beats-replication
+   position).
 3. A file server crashes: clients hold their delayed-write data, and
    the stateful-server recovery protocol rebuilds the server's open/
    caching state from the clients' reopens.
+4. The whole gauntlet at once: ``run_chaos`` runs a migrating workload
+   under a scripted fault plan and audits the cluster invariants.
 
 Run:  python examples/fault_tolerance_demo.py
 """
 
 from repro import SpriteCluster
+from repro.faults import FaultPlan, run_chaos
 from repro.fs import OpenMode
 from repro.loadsharing import LoadSharingService
 from repro.migration import MigrationRefused
@@ -30,9 +33,11 @@ def aborted_migration():
     cluster.params.rpc_retries = 0
     a, b = cluster.hosts[0], cluster.hosts[1]
     cluster.add_file("/data", size=100_000)
+    injector = cluster.faults()
 
+    # Crash the target the instant the install RPC arrives.
     def crashing_install(payload):
-        b.node.up = False
+        injector.crash_host(b)
         yield Sleep(10.0)
 
     cluster.managers[b.address].host.rpc.register("mig.install", crashing_install)
@@ -65,6 +70,7 @@ def migd_crash_restart():
     print("=== 2. migd crashes and restarts ===")
     cluster = SpriteCluster(workstations=4, start_daemons=True)
     service = LoadSharingService(cluster, architecture="centralized")
+    injector = cluster.faults(service=service)
     cluster.run(until=45.0)
     selector = service.selector_for(cluster.hosts[0])
 
@@ -72,11 +78,11 @@ def migd_crash_restart():
         granted = yield from selector.request(2)
         print(f"  before crash: granted {len(granted)} hosts")
         yield from selector.release(granted)
-        service.migd.stop()
+        injector.kill_migd()
         granted = yield from selector.request(2)
         print(f"  during outage: granted {len(granted)} hosts "
               f"(degraded to local execution, no hang)")
-        service.migd.restart()
+        injector.restart_migd()
         yield Sleep(3 * cluster.params.availability_period)
         granted = yield from selector.request(2)
         print(f"  after restart: granted {len(granted)} hosts "
@@ -92,31 +98,45 @@ def server_crash_recovery():
     cluster.params.rpc_timeout = 0.5
     cluster.params.rpc_retries = 0
     host = cluster.hosts[0]
+    injector = cluster.faults()
 
     def scenario(proc):
         fd = yield from proc.open("/journal", OpenMode.WRITE | OpenMode.CREATE)
         yield from proc.write(fd, 64 * 1024)
         print(f"  wrote 64 KB (delayed-write: server has "
               f"{cluster.file_server.bytes_written} bytes)")
-        cluster.file_server.crash()
+        injector.crash_server(0)
         print("  server crashed: open/caching state lost, disk intact")
-        cluster.file_server.restart()
-        reopened = yield from proc.kernel.fs.recover(
-            cluster.server_hosts[0].address
-        )
-        print(f"  recovery: {reopened} stream(s) reopened, "
-              f"{cluster.file_server.bytes_written} bytes re-flushed "
-              f"from the client cache")
+        injector.restart_server(0)   # re-drives every client's recovery
+        yield Sleep(1.0)
+        print(f"  recovery: {cluster.file_server.bytes_written} bytes "
+              f"re-flushed from the client cache")
         yield from proc.close(fd)
         info = yield from proc.stat("/journal")
         print(f"  /journal after recovery: {info['size']} bytes — "
-              f"no delayed-write data lost")
+              f"no delayed-write data lost\n")
         return 0
 
     cluster.run_process(host, scenario, name="recovery")
+
+
+def chaos_gauntlet():
+    print("=== 4. the full gauntlet: run_chaos + invariant audit ===")
+    report = run_chaos(seed=0, workstations=4, duration=60.0, jobs=6)
+    print(f"  {report.jobs} jobs: {report.jobs_finished} finished, "
+          f"{report.jobs_lost} lost to crashes")
+    print(f"  {report.migrations} migrations, {report.refusals} refusals, "
+          f"{report.faults} faults injected")
+    for event in report.events:
+        print(f"    {event}")
+    verdict = "clean" if report.clean else "VIOLATED"
+    print(f"  invariants: {verdict}; trace fingerprint "
+          f"{report.fingerprint[:16]}")
+    print("  (same seed + same plan => byte-identical trace)")
 
 
 if __name__ == "__main__":
     aborted_migration()
     migd_crash_restart()
     server_crash_recovery()
+    chaos_gauntlet()

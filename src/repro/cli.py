@@ -53,6 +53,7 @@ EXPERIMENTS: Dict[str, str] = {
     "S1": "bench_network_sweep.py",
     "S2": "bench_assignment_caching.py",
     "P1": "bench_engine.py",
+    "P3": "bench_faults.py",
 }
 
 
@@ -278,6 +279,57 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos runs + invariant audit (+ optional determinism check)."""
+    import json
+
+    from .faults import run_chaos
+
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    reports = []
+    failed = False
+    for seed in seeds:
+        report = run_chaos(
+            seed=seed,
+            workstations=args.hosts,
+            duration=args.duration,
+            random_churn=args.churn,
+            mtbf=args.mtbf,
+            jobs=args.jobs,
+        )
+        reports.append(report)
+        if args.verify_determinism:
+            again = run_chaos(
+                seed=seed,
+                workstations=args.hosts,
+                duration=args.duration,
+                random_churn=args.churn,
+                mtbf=args.mtbf,
+                jobs=args.jobs,
+            )
+            if again.fingerprint != report.fingerprint:
+                failed = True
+                print(f"seed {seed}: NONDETERMINISTIC "
+                      f"({report.fingerprint[:16]} != {again.fingerprint[:16]})",
+                      file=sys.stderr)
+        if report.violations:
+            failed = True
+        if not args.json:
+            status = "CLEAN" if report.clean else "VIOLATIONS"
+            print(f"seed {seed}: {status} — {report.jobs} jobs "
+                  f"({report.jobs_finished} finished, {report.jobs_lost} lost), "
+                  f"{report.migrations} migrations, {report.refusals} refusals, "
+                  f"{report.faults} faults, fingerprint {report.fingerprint[:16]}")
+            for event in report.events:
+                print(f"    {event}")
+            for violation in report.violations:
+                print(f"    VIOLATION {violation}")
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=1,
+                         sort_keys=True))
+    return 1 if failed else 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     benchmarks = _find_dir("benchmarks")
     if benchmarks is None:
@@ -330,6 +382,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="metrics sampling period in sim seconds "
                             "(off by default: a sampler keeps the event "
                             "queue non-empty)")
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection runs with an invariant audit",
+    )
+    chaos.add_argument("--seeds", default="0",
+                       help="comma-separated seeds, one run each")
+    chaos.add_argument("--hosts", type=int, default=5,
+                       help="number of workstations")
+    chaos.add_argument("--duration", type=float, default=120.0,
+                       help="sim seconds of chaos before quiescing")
+    chaos.add_argument("--jobs", type=int, default=12,
+                       help="background jobs to run under churn")
+    chaos.add_argument("--churn", action="store_true",
+                       help="seeded-random host churn instead of the "
+                            "scripted gauntlet")
+    chaos.add_argument("--mtbf", type=float, default=60.0,
+                       help="mean time between host crashes (--churn)")
+    chaos.add_argument("--verify-determinism", action="store_true",
+                       help="run each seed twice and require "
+                            "byte-identical trace fingerprints")
+    chaos.add_argument("--json", action="store_true",
+                       help="machine-readable report on stdout")
     return parser
 
 
@@ -342,6 +416,7 @@ def main(argv: Optional[list] = None) -> int:
         "experiment": cmd_experiment,
         "report": cmd_report,
         "trace": cmd_trace,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

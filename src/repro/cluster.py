@@ -215,5 +215,21 @@ class SpriteCluster:
             self, spans=spans, trace=trace, sample_period=sample_period
         )
 
+    def faults(
+        self,
+        plan: Optional[Any] = None,
+        service: Optional[Any] = None,
+        detect_delay: Optional[float] = None,
+    ):
+        """Install and return a :class:`~repro.faults.FaultInjector`
+        for this cluster (started if a plan was given).  See
+        ``docs/faults.md``."""
+        from .faults import FaultInjector
+
+        injector = FaultInjector(
+            self, plan=plan, service=service, detect_delay=detect_delay
+        )
+        return injector.start()
+
     def total_cpu_seconds(self) -> float:
         return sum(host.cpu.total_demand for host in self.hosts)

@@ -46,6 +46,13 @@ class ClusterParams:
     rpc_timeout: float = 5.0
     #: Retries before giving up on an unreachable host.
     rpc_retries: int = 2
+    #: Retry backoff: the first retry waits ``rpc_backoff_base`` seconds,
+    #: doubling per attempt up to ``rpc_backoff_cap``, each delay scaled
+    #: by a deterministic jitter factor in [1-j, 1+j] so callers that
+    #: lost the same host do not retry in lockstep.
+    rpc_backoff_base: float = 0.2
+    rpc_backoff_cap: float = 2.0
+    rpc_backoff_jitter: float = 0.25
 
     # --- CPU / kernel ---------------------------------------------------
     #: Relative CPU speed of every host (1.0 = Sun-3 class).
@@ -109,6 +116,17 @@ class ClusterParams:
     availability_period: float = 5.0
     #: Pause before a reclaimed host's foreign processes must be gone.
     eviction_grace: float = 1.0
+
+    # --- faults -----------------------------------------------------------
+    #: How long after a host crash the rest of the cluster acts on it
+    #: (peer kernels reap dependents, file servers drop client state,
+    #: migd marks the host unavailable).  Models the detection lag of
+    #: Sprite's recovery machinery; driven by ``repro.faults``.
+    crash_detect_delay: float = 10.0
+    #: Retry interval for the remote-exit notification to an
+    #: unreachable home kernel (Sprite blocks such RPCs until the peer
+    #: recovers; we poll at this period instead).
+    exit_notify_retry: float = 2.0
 
     # --- bookkeeping ------------------------------------------------------
     seed: int = 0

@@ -1,0 +1,45 @@
+"""Deterministic fault injection & recovery — the cluster's chaos engine.
+
+The thesis's migration, load-sharing, and FS-recovery protocols are all
+*defined* by how they fail: aborted transfers roll back, a dead migd
+degrades requests to local execution, file servers rebuild state from
+client reopens.  This package makes those failures first-class and
+reproducible:
+
+* :mod:`.plan`       — :class:`FaultPlan`/:class:`FaultAction`: what
+  breaks, when (scripted or seeded-random).
+* :mod:`.fabric`     — :class:`LinkFabric`: partitions, packet loss and
+  latency spikes, consulted by the LAN per message.
+* :mod:`.injector`   — :class:`FaultInjector`: executes plans, drives
+  host crash/reboot, migd and FS-server outages, crash detection.
+* :mod:`.invariants` — :class:`InvariantChecker`: no process lost or
+  duplicated, migration ledger consistent, fault accounting balanced.
+* :mod:`.chaos`      — :func:`run_chaos`: workload + plan + audit, with
+  a trace fingerprint for byte-identical determinism checks
+  (``python -m repro chaos``).
+
+Everything is zero-cost when absent: a cluster with no injector runs
+the exact same instruction path as before this package existed.
+"""
+
+from .chaos import ChaosReport, builtin_plan, run_chaos, trace_fingerprint
+from .fabric import LinkFabric, LinkState
+from .injector import FaultEvent, FaultInjector
+from .invariants import InvariantChecker, Violation
+from .plan import FAULT_KINDS, FaultAction, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosReport",
+    "FaultAction",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantChecker",
+    "LinkFabric",
+    "LinkState",
+    "Violation",
+    "builtin_plan",
+    "run_chaos",
+    "trace_fingerprint",
+]

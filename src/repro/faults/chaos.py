@@ -1,0 +1,228 @@
+"""The chaos harness: a busy cluster, a fault plan, and an audit.
+
+:func:`run_chaos` is one reproducible experiment: build a cluster with
+tracing on, run a defensive workload under automatic load sharing,
+unleash a :class:`~repro.faults.FaultPlan` (scripted or seeded-random),
+quiesce, and audit the wreckage with the
+:class:`~repro.faults.InvariantChecker`.  The returned
+:class:`ChaosReport` carries a SHA-256 fingerprint of the full trace —
+two runs with the same seed and plan must produce *byte-identical*
+traces, which is how both the golden test and ``python -m repro chaos
+--verify-determinism`` detect nondeterminism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cluster import SpriteCluster
+from ..fs import OpenMode
+from ..kernel import ProcState
+from ..loadsharing import LoadSharingService
+from ..sim import Sleep, spawn
+from .injector import FaultInjector
+from .invariants import InvariantChecker
+from .plan import FaultPlan
+
+__all__ = ["ChaosReport", "run_chaos", "trace_fingerprint", "builtin_plan"]
+
+
+def trace_fingerprint(tracer) -> str:
+    """SHA-256 over the rendered trace — byte-identical or bust."""
+    payload = "\n".join(str(record) for record in tracer.records)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def builtin_plan(cluster, duration: float) -> FaultPlan:
+    """The default scripted gauntlet, scaled to ``duration``.
+
+    Hits every fault kind once: a full host outage, a network
+    partition, a migd outage, a file-server outage, and a lossy link —
+    spread over the first ~80% of the run so recovery can finish.
+    """
+    hosts = cluster.hosts
+    t = duration / 100.0  # timeline unit
+    plan = FaultPlan()
+    if len(hosts) >= 3:
+        plan.host_outage(10 * t, hosts[2], 8 * t)
+    plan.partition(25 * t, [h.address for h in hosts[:2]])
+    plan.heal(33 * t)
+    plan.migd_outage(40 * t, 5 * t)
+    plan.server_outage(52 * t, 5 * t)
+    if len(hosts) >= 4:
+        plan.link(60 * t, hosts[0], hosts[3], drop=0.3, delay=0.002)
+        plan.link_clear(75 * t, hosts[0], hosts[3])
+    return plan
+
+
+@dataclass
+class ChaosReport:
+    """What happened, whether it was legal, and how to reproduce it."""
+
+    seed: int
+    workstations: int
+    duration: float
+    jobs: int = 0
+    jobs_finished: int = 0
+    jobs_lost: int = 0
+    migrations: int = 0
+    refusals: int = 0
+    faults: int = 0
+    packets_blocked: int = 0
+    packets_dropped: int = 0
+    violations: List[str] = field(default_factory=list)
+    fingerprint: str = ""
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "workstations": self.workstations,
+            "duration": self.duration,
+            "jobs": self.jobs,
+            "jobs_finished": self.jobs_finished,
+            "jobs_lost": self.jobs_lost,
+            "migrations": self.migrations,
+            "refusals": self.refusals,
+            "faults": self.faults,
+            "packets_blocked": self.packets_blocked,
+            "packets_dropped": self.packets_dropped,
+            "violations": self.violations,
+            "fingerprint": self.fingerprint,
+            "events": self.events,
+        }
+
+
+def _chaos_job(proc, index: int, work: float):
+    """A defensive batch job: compute, write a scratch file, compute.
+
+    Infrastructure failures surface as exceptions from kernel calls;
+    the job retries nothing and just reports failure — surviving *or*
+    dying cleanly are both legal outcomes the invariant checker can
+    account for.
+    """
+    try:
+        yield from proc.compute(work * 0.4)
+        fd = yield from proc.open(
+            f"/tmp/chaos-{index}", OpenMode.WRITE | OpenMode.CREATE
+        )
+        yield from proc.write(fd, 4096)
+        yield from proc.close(fd)
+        yield from proc.compute(work * 0.6)
+    except Exception:  # noqa: BLE001 - any infra failure = nonzero exit
+        return 1
+    return 0
+
+
+def run_chaos(
+    seed: int = 0,
+    workstations: int = 5,
+    duration: float = 120.0,
+    plan: Optional[FaultPlan] = None,
+    random_churn: bool = False,
+    mtbf: float = 60.0,
+    jobs: int = 12,
+    job_length: float = 8.0,
+    detect_delay: Optional[float] = None,
+    drain: Optional[float] = None,
+) -> ChaosReport:
+    """One full chaos experiment; see the module docstring."""
+    cluster = SpriteCluster(workstations=workstations, seed=seed, trace=True)
+    cluster.standard_images()
+    service = LoadSharingService(cluster, architecture="centralized")
+    if plan is None:
+        if random_churn:
+            plan = FaultPlan.random(
+                cluster.rng, cluster.hosts[1:], duration * 0.8, mtbf=mtbf
+            )
+        else:
+            plan = builtin_plan(cluster, duration)
+    injector = FaultInjector(
+        cluster, plan, service=service, detect_delay=detect_delay
+    ).start()
+
+    # --- workload: jobs launched from the first two hosts, spread out
+    # over the run, plus an orchestrator that load-shares them.
+    launched: List = []
+
+    def launcher():
+        gap = duration * 0.5 / max(jobs, 1)
+        for index in range(jobs):
+            home = cluster.hosts[index % min(2, len(cluster.hosts))]
+            if home.node.up:
+                pcb, _ctx = home.spawn_process(
+                    _chaos_job, index, job_length, name=f"chaos-{index}"
+                )
+                launched.append(pcb)
+            yield Sleep(gap)
+
+    def orchestrator():
+        """Keep trying to push runnable jobs onto granted idle hosts."""
+        selector = service.selector_for(cluster.hosts[0])
+        while True:
+            yield Sleep(duration / 40.0)
+            if not cluster.hosts[0].node.up:
+                continue
+            movable = [
+                pcb for pcb in launched
+                if not pcb.task.done
+                and pcb.state == ProcState.RUNNING
+                and pcb.current in cluster.managers
+                and cluster.managers[pcb.current].host.node.up
+            ]
+            if not movable:
+                continue
+            granted = yield from selector.request(len(movable))
+            for pcb, target in zip(movable, granted):
+                try:
+                    yield from cluster.managers[pcb.current].migrate(
+                        pcb, target, reason="chaos"
+                    )
+                except Exception:  # noqa: BLE001 - refusals/crashes expected
+                    pass
+
+    spawn(cluster.sim, launcher(), name="chaos-launcher", daemon=True)
+    spawn(cluster.sim, orchestrator(), name="chaos-orchestrator", daemon=True)
+
+    cluster.run(until=duration)
+    # Quiesce: heal the network, reboot the dead, let detection and
+    # recovery daemons finish, then audit.
+    injector.heal_all()
+    if drain is None:
+        drain = (
+            injector.detect_delay
+            + 3 * cluster.params.availability_period
+            + 2 * job_length
+        )
+    cluster.run(until=duration + drain)
+
+    checker = InvariantChecker(cluster, injector)
+    violations = checker.check(expected_pids=[pcb.pid for pcb in launched])
+
+    records = cluster.migration_records()
+    finished = sum(
+        1 for pcb in launched
+        if pcb.task.done and isinstance(pcb.task.result, int)
+    )
+    return ChaosReport(
+        seed=seed,
+        workstations=workstations,
+        duration=duration,
+        jobs=len(launched),
+        jobs_finished=finished,
+        jobs_lost=len(launched) - finished,
+        migrations=sum(1 for r in records if not r.refused),
+        refusals=sum(1 for r in records if r.refused),
+        faults=len(injector.log),
+        packets_blocked=injector.fabric.blocked,
+        packets_dropped=injector.fabric.dropped,
+        violations=[str(v) for v in violations],
+        fingerprint=trace_fingerprint(cluster.tracer),
+        events=[str(event) for event in injector.log],
+    )

@@ -1,0 +1,153 @@
+"""Link-state fabric: partitions, per-link loss and delay.
+
+The LAN's only failure mode used to be the binary ``node.up`` flag.
+:class:`LinkFabric` adds the network failures the thesis's protocols
+must survive — partitions between host groups, probabilistic packet
+loss, latency spikes on individual links — as state *beside* the LAN:
+:class:`~repro.net.Lan` consults ``lan.fabric`` with one ``is not
+None`` test per message, so a fault-free run pays nothing.
+
+Semantics, by traffic class:
+
+* **unicast messages** (``Lan.send``): a partition raises
+  :class:`~repro.net.NetworkPartitionedError` before any wire time is
+  spent; a loss draw consumes the wire time but delivers nothing (the
+  caller discovers it by timeout); per-link delay is added to the
+  propagation latency.
+* **bulk transfers** (``Lan.transfer``): partitions raise; per-link
+  delay applies.  Loss is not drawn per transfer — bulk data rides a
+  retransmitting transport, so model its loss as a delay spike instead.
+* **broadcast** (``Lan.broadcast``): receivers behind a partition or a
+  per-receiver loss draw simply miss the message.
+
+All randomness comes from a ``numpy`` generator handed in by the
+caller (the injector passes ``cluster.rng.stream("faults.net")``), so
+a fixed seed reproduces the exact same drop pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..net.lan import NetworkPartitionedError
+from ..sim import Tracer
+
+__all__ = ["LinkFabric", "LinkState"]
+
+
+@dataclass
+class LinkState:
+    """Per-link impairment: loss probability and extra one-way delay."""
+
+    drop: float = 0.0
+    delay: float = 0.0
+
+
+class LinkFabric:
+    """Mutable connectivity state consulted by the LAN on every message."""
+
+    def __init__(self, rng=None, tracer: Optional[Tracer] = None):
+        if rng is None:
+            import numpy as np
+
+            rng = np.random.default_rng(0)
+        self.rng = rng
+        self.tracer = tracer if tracer is not None else Tracer()
+        #: address -> partition group id; ``None`` means fully connected.
+        #: Addresses not named in any group share one residual group.
+        self._groups: Optional[Dict[int, int]] = None
+        self._links: Dict[Tuple[int, int], LinkState] = {}
+        #: Counters for the invariant checker and reports.
+        self.blocked = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Configuration (driven by the injector)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Split the network: only hosts in the same group can talk.
+
+        Hosts not named in any group fall into one shared residual
+        group (so ``partition([[a]])`` isolates ``a`` from everyone
+        else, servers included).
+        """
+        mapping: Dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for address in group:
+                mapping[address] = index
+        self._groups = mapping
+
+    def heal(self) -> None:
+        """Remove any partition; per-link impairments are unaffected."""
+        self._groups = None
+
+    def set_link(self, a: int, b: int, drop: float = 0.0, delay: float = 0.0) -> None:
+        """Impair the (undirected) link between ``a`` and ``b``."""
+        if not 0.0 <= drop < 1.0:
+            raise ValueError(f"drop probability must be in [0, 1): {drop}")
+        if delay < 0.0:
+            raise ValueError(f"negative link delay: {delay}")
+        self._links[self._key(a, b)] = LinkState(drop=drop, delay=delay)
+
+    def clear_link(self, a: int, b: int) -> None:
+        self._links.pop(self._key(a, b), None)
+
+    def clear_links(self) -> None:
+        self._links.clear()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._groups is not None
+
+    def connected(self, a: int, b: int) -> bool:
+        groups = self._groups
+        if groups is None:
+            return True
+        return groups.get(a, -1) == groups.get(b, -1)
+
+    # ------------------------------------------------------------------
+    # Queries from the LAN hot paths
+    # ------------------------------------------------------------------
+    def unicast(self, src: int, dst: int) -> Tuple[bool, float]:
+        """Verdict for one message: ``(deliver, extra_delay)``.
+
+        Raises :class:`NetworkPartitionedError` when no path exists.
+        """
+        if not self.connected(src, dst):
+            self.blocked += 1
+            raise NetworkPartitionedError(
+                f"no path from {src} to {dst} (network partitioned)"
+            )
+        link = self._links.get((src, dst) if src <= dst else (dst, src))
+        if link is None:
+            return True, 0.0
+        if link.drop > 0.0 and self.rng.random() < link.drop:
+            self.dropped += 1
+            return False, link.delay
+        return True, link.delay
+
+    def bulk(self, src: int, dst: int) -> float:
+        """Extra delay for a bulk transfer; raises when partitioned."""
+        if not self.connected(src, dst):
+            self.blocked += 1
+            raise NetworkPartitionedError(
+                f"no path from {src} to {dst} (network partitioned)"
+            )
+        link = self._links.get((src, dst) if src <= dst else (dst, src))
+        return link.delay if link is not None else 0.0
+
+    def multicast(self, src: int, dst: int) -> bool:
+        """Whether one broadcast receiver gets its copy."""
+        if not self.connected(src, dst):
+            self.blocked += 1
+            return False
+        link = self._links.get((src, dst) if src <= dst else (dst, src))
+        if link is not None and link.drop > 0.0 and self.rng.random() < link.drop:
+            self.dropped += 1
+            return False
+        return True

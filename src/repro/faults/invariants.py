@@ -1,0 +1,161 @@
+"""Cluster invariants that must hold no matter what the chaos did.
+
+After any run — scripted plan, random churn, or a hand-driven test —
+:class:`InvariantChecker` audits the quiesced cluster:
+
+* **Process conservation**: no pid is RUNNING on two kernels at once;
+  every resident process thinks it is where its kernel thinks it is;
+  every shadow PCB points at a host that actually runs (or ran, before
+  crashing) its process.
+* **Migration ledger**: records have sane timestamps, never migrate a
+  process onto the host it left from in the same hop, and the refusal
+  flags agree with the per-reason refusal tally.
+* **Fault accounting** (with an injector): processes the plan killed
+  are exactly the ones missing — nothing vanished without a recorded
+  crash, nothing rose from the dead.
+
+Checks return :class:`Violation` values rather than raising, so the
+chaos CLI can report all of them; tests use :meth:`assert_clean`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from ..kernel import ProcState, home_of_pid
+from ..migration import refusal_reasons
+
+__all__ = ["InvariantChecker", "Violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with enough detail to debug it."""
+
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"{self.kind}: {parts}"
+
+
+class InvariantChecker:
+    """Audits a cluster, optionally against a fault injector's log."""
+
+    def __init__(self, cluster, injector=None):
+        self.cluster = cluster
+        self.injector = injector
+
+    # ------------------------------------------------------------------
+    def check(self, expected_pids: Optional[Iterable[int]] = None) -> List[Violation]:
+        violations: List[Violation] = []
+        violations.extend(self._check_placement())
+        violations.extend(self._check_records())
+        if expected_pids is not None:
+            violations.extend(self._check_conservation(set(expected_pids)))
+        return violations
+
+    def assert_clean(self, expected_pids: Optional[Iterable[int]] = None) -> None:
+        violations = self.check(expected_pids)
+        if violations:
+            raise AssertionError(
+                "invariant violations:\n"
+                + "\n".join(f"  - {v}" for v in violations)
+            )
+
+    # ------------------------------------------------------------------
+    def _crashed_hosts(self) -> Set[int]:
+        if self.injector is None:
+            return set()
+        return set(self.injector.crashed_hosts)
+
+    def _check_placement(self) -> List[Violation]:
+        violations: List[Violation] = []
+        crashed = self._crashed_hosts()
+        running_at: Dict[int, List[int]] = {}
+        for address in sorted(self.cluster.kernels):
+            kernel = self.cluster.kernels[address]
+            for pid, pcb in sorted(kernel.procs.items()):
+                if pcb.state == ProcState.RUNNING:
+                    running_at.setdefault(pid, []).append(address)
+                    if pcb.current != address:
+                        violations.append(Violation(
+                            "misplaced-process",
+                            {"pid": pid, "kernel": address,
+                             "claims": pcb.current},
+                        ))
+        for pid, addresses in sorted(running_at.items()):
+            if len(addresses) > 1:
+                violations.append(Violation(
+                    "duplicated-process", {"pid": pid, "hosts": addresses}
+                ))
+        for address in sorted(self.cluster.kernels):
+            kernel = self.cluster.kernels[address]
+            for pid, pcb in sorted(kernel.procs.items()):
+                if pcb.state != ProcState.MIGRATED:
+                    continue
+                # A shadow may dangle only because its execution host
+                # crashed and detection has not fired yet; a host that
+                # never crashed must actually run the process.
+                remote = pcb.current
+                if remote not in running_at.get(pid, []) and remote not in crashed:
+                    violations.append(Violation(
+                        "dangling-shadow",
+                        {"pid": pid, "home": address, "remote": remote},
+                    ))
+        return violations
+
+    def _check_records(self) -> List[Violation]:
+        violations: List[Violation] = []
+        records = list(self.cluster.migration_records())
+        refused_flagged = 0
+        for record in records:
+            if record.refused:
+                refused_flagged += 1
+                if "refusal" not in record.detail:
+                    violations.append(Violation(
+                        "refusal-without-reason",
+                        {"pid": record.pid, "source": record.source,
+                         "target": record.target},
+                    ))
+            if record.source == record.target:
+                violations.append(Violation(
+                    "self-migration",
+                    {"pid": record.pid, "host": record.source},
+                ))
+            if record.ended and record.ended < record.started:
+                violations.append(Violation(
+                    "record-time-warp",
+                    {"pid": record.pid, "started": record.started,
+                     "ended": record.ended},
+                ))
+        tally = sum(refusal_reasons(records).values())
+        if tally != refused_flagged:
+            violations.append(Violation(
+                "refusal-tally-mismatch",
+                {"flagged": refused_flagged, "tallied": tally},
+            ))
+        return violations
+
+    def _check_conservation(self, expected: Set[int]) -> List[Violation]:
+        """Every expected pid must be accounted for: still resident,
+        exited (zombie/dead entries stay in the table), or recorded
+        lost by the fault layer — directly (it was executing on the
+        crashing host, or was orphaned/reaped by detection) or
+        implicitly (its *home* crashed, which wipes the whole process
+        table including exit records)."""
+        violations: List[Violation] = []
+        accounted: Set[int] = set()
+        for kernel in self.cluster.kernels.values():
+            accounted.update(kernel.procs.keys())
+        crashed = self._crashed_hosts()
+        excused: Set[int] = set()
+        if self.injector is not None:
+            excused = self.injector.lost_pids()
+        for pid in sorted(expected - accounted - excused):
+            if home_of_pid(pid) in crashed:
+                continue
+            violations.append(Violation("lost-process", {"pid": pid}))
+        return violations

@@ -127,6 +127,12 @@ class BlockCache:
             del self._blocks[key]
         return len(keys)
 
+    def drop_all(self) -> int:
+        """Discard everything, dirty blocks included (host crash)."""
+        count = len(self._blocks)
+        self._blocks.clear()
+        return count
+
     def take_dirty(self, path: str) -> List[CacheBlock]:
         """Return and clean all dirty blocks of ``path`` (flush)."""
         dirty = self.dirty_blocks(path)

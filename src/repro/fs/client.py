@@ -142,6 +142,8 @@ class FsClient:
         period = self.params.writeback_period
         while True:
             yield Sleep(period)
+            if not self.node.up:
+                continue
             aged = self.cache.aged_dirty(self.sim.now, period)
             for path in sorted(aged):
                 yield from self._flush_path(path)
@@ -405,6 +407,18 @@ class FsClient:
                 timeout=timeout,
             )
         )
+
+    # ------------------------------------------------------------------
+    # Host crash (driven by repro.faults)
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Drop all volatile client state: cached blocks (dirty ones are
+        simply lost — delayed write-back trades exactly this much data
+        for performance), open streams, and handle memos."""
+        self.cache.drop_all()
+        self.open_streams.clear()
+        self._servers_by_handle.clear()
+        self._path_handles.clear()
 
     # ------------------------------------------------------------------
     # Server-crash recovery (Sprite's stateful-server recovery [Wel90])

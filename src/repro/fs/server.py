@@ -462,6 +462,26 @@ class FileServer:
         """Come back up; clients must run recovery before further I/O."""
         self.node.up = True
 
+    def client_crashed(self, client: int) -> None:
+        """Forget a crashed client kernel's per-client state.
+
+        The inverse of ``fs.reopen``: its opens, cache registrations,
+        stream references and delayed-write claim evaporate, so the
+        files it had open do not stay write-locked or uncacheable
+        forever.  Driven by the fault layer after crash detection.
+        """
+        for entry in self.files.values():
+            entry.open_readers.pop(client, None)
+            entry.open_writers.pop(client, None)
+            entry.caching_clients.discard(client)
+            if entry.last_writer == client:
+                # Its freshest data died with its cache; server copy wins.
+                entry.last_writer = None
+            for refs in entry.stream_refs.values():
+                refs.pop(client, None)
+            if not entry.open_writers:
+                entry.cacheable = True
+
     def _rpc_reopen(self, args: Dict[str, Any]) -> Generator[Effect, None, Dict[str, Any]]:
         """Recovery: a client re-asserts one open stream it holds.
 

@@ -74,6 +74,9 @@ class Host:
         #: True while the host's owner is at the console (activity traces
         #: toggle this; input events refresh last_input).
         self.user_present = False
+        #: Crash/reboot bookkeeping (driven by repro.faults).
+        self.crashes = 0
+        self.up_since = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -102,6 +105,52 @@ class Host:
             self.loadavg.effective < self.params.idle_load_threshold
             and self.input_idle_seconds() >= self.params.idle_input_threshold
         )
+
+    # ------------------------------------------------------------------
+    # Crash / reboot lifecycle (driven by repro.faults)
+    # ------------------------------------------------------------------
+    @property
+    def is_up(self) -> bool:
+        return self.node.up
+
+    def crash(self) -> list:
+        """Full-host crash: all volatile state is lost at this instant.
+
+        Resident process tasks are aborted without cleanup, the kernel's
+        process table and the FS client's cache/stream state are
+        cleared, and queued inbound packets are discarded.  Daemons
+        (writeback, availability notifier) survive as tasks but idle
+        while ``node.up`` is False.  Returns the PCBs that were
+        executing here; the rest of the cluster only reacts once the
+        fault layer drives crash detection.
+        """
+        if not self.node.up:
+            return []
+        self.node.up = False
+        self.crashes += 1
+        lost = self.kernel.on_crash()
+        self.fs.on_crash()
+        while True:
+            ok, _packet = self.node.inbox.try_get()
+            if not ok:
+                break
+        return lost
+
+    def reboot(self) -> None:
+        """Come back up with a cold kernel.
+
+        The node answers on the LAN again immediately (it was never
+        unregistered — same address, as in Sprite where the machine id
+        is stable); the availability notifier re-announces to migd
+        within one availability period on its next tick, and FS client
+        recovery is a no-op since no streams survived the crash.
+        """
+        if self.node.up:
+            return
+        self.node.up = True
+        self.up_since = self.sim.now
+        self.last_input = float("-inf")
+        self.user_present = False
 
     # ------------------------------------------------------------------
     # Process creation

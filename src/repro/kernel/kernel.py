@@ -24,8 +24,8 @@ from typing import Any, Dict, Generator, List, Optional
 
 from ..config import ClusterParams
 from ..fs import FsClient, PdevRegistry
-from ..net import Lan, NetNode, RpcPort
-from ..sim import Cpu, Effect, SimEvent, Simulator, Tracer
+from ..net import Lan, NetNode, RpcError, RpcPort
+from ..sim import Cpu, Effect, SimEvent, Simulator, Sleep, Tracer
 from . import signals as sig
 from .pcb import ExitStatus, Pcb, ProcState, Vm
 from .syscalls import CALL_TABLE
@@ -211,6 +211,67 @@ class SpriteKernel:
         return listing
 
     # ------------------------------------------------------------------
+    # Crash / reboot lifecycle (driven by repro.faults)
+    # ------------------------------------------------------------------
+    def on_crash(self) -> List[Pcb]:
+        """Lose all volatile kernel state: the host just crashed.
+
+        Every resident process task is aborted in place (no exit
+        bookkeeping runs — the kernel that would run it is gone) and the
+        whole process table, shadows included, is cleared.  Returns the
+        PCBs that were executing here so the fault layer can account for
+        them.  Monotonic counters survive, as telemetry outside the sim.
+        """
+        lost: List[Pcb] = []
+        for pcb in sorted(self.procs.values(), key=lambda p: p.pid):
+            if pcb.state == ProcState.RUNNING and pcb.current == self.address:
+                if pcb.task is not None:
+                    pcb.task.abort(("host-crashed", self.address))
+                lost.append(pcb)
+        self.procs.clear()
+        return lost
+
+    def on_peer_crashed(self, address: int) -> Dict[str, int]:
+        """React to another host's crash (driven after detection delay).
+
+        Two consequences, per the thesis's dependency argument:
+
+        * foreign processes executing *here* whose home was ``address``
+          lost the home their kernel calls depend on — they are killed
+          (orphan detection);
+        * shadows *here* whose process was executing on ``address`` are
+          reaped with a crash exit status, so waiting parents unblock
+          instead of hanging on a host that will never report an exit.
+        """
+        orphaned = 0
+        reaped = 0
+        for pcb in sorted(self.procs.values(), key=lambda p: p.pid):
+            if (
+                pcb.state == ProcState.RUNNING
+                and pcb.current == self.address
+                and pcb.home == address
+            ):
+                if pcb.task is not None:
+                    pcb.task.abort(("home-crashed", address))
+                self.procs.pop(pcb.pid, None)
+                orphaned += 1
+            elif pcb.state == ProcState.MIGRATED and pcb.current == address:
+                status = ExitStatus(
+                    pid=pcb.pid,
+                    code=128 + sig.SIGKILL,
+                    cpu_time=pcb.cpu_time,
+                    exit_host=address,
+                )
+                self._record_zombie(pcb, status)
+                reaped += 1
+        if (orphaned or reaped) and self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, f"kernel:{self.node.name}", "peer-crashed",
+                peer=address, orphaned=orphaned, reaped=reaped,
+            )
+        return {"orphaned": orphaned, "reaped": reaped}
+
+    # ------------------------------------------------------------------
     # Family bookkeeping (fork / exit / wait), home-centric
     # ------------------------------------------------------------------
     def fork_bookkeeping(
@@ -279,12 +340,24 @@ class SpriteKernel:
         else:
             self.procs.pop(pcb.pid, None)
             self.calls_forwarded_home += 1
-            yield from self.rpc.call(
-                pcb.home,
-                "proc.exit_notify",
-                {"pid": pcb.pid, "code": code, "cpu_time": pcb.cpu_time,
-                 "exit_host": self.address},
-            )
+            # The home may be crashed or partitioned away right now.
+            # Sprite blocks RPCs to a down peer until its recovery
+            # completes; model that by retrying until the home answers
+            # (a rebooted home without the shadow just ignores it) or
+            # this kernel itself goes down.
+            while True:
+                try:
+                    yield from self.rpc.call(
+                        pcb.home,
+                        "proc.exit_notify",
+                        {"pid": pcb.pid, "code": code, "cpu_time": pcb.cpu_time,
+                         "exit_host": self.address},
+                    )
+                    break
+                except RpcError:
+                    if not self.node.up:
+                        return
+                    yield Sleep(self.params.exit_notify_retry)
 
     def _record_zombie(self, pcb: Pcb, status: ExitStatus) -> None:
         pcb.state = ProcState.ZOMBIE

@@ -171,6 +171,20 @@ class MigdServer:
             self.assignments.get(client, set()).discard(address)
         return {"released": released}
 
+    def host_lost(self, address: int) -> None:
+        """Crash detection: stop handing out a host that went silent.
+
+        In real Sprite the server would notice missed updates; the
+        fault layer drives this explicitly after the detection delay.
+        """
+        info = self.hosts.get(address)
+        if info is None:
+            return
+        info.available = False
+        if info.assigned_to is not None:
+            self.assignments.get(info.assigned_to, set()).discard(address)
+            info.assigned_to = None
+
     # ------------------------------------------------------------------
     def idle_count(self) -> int:
         return sum(1 for info in self.hosts.values() if info.available)
@@ -196,6 +210,13 @@ class AvailabilityNotifier:
         # Stagger start-up so a cluster's notifiers don't phase-lock.
         yield Sleep((self.host.address % 10) * period / 10.0)
         while True:
+            if not self.host.node.up:
+                # Crashed host: say nothing; the stream died with the
+                # kernel, so re-open it on the first post-reboot tick
+                # (re-announcing within one availability period).
+                self._stream = None
+                yield Sleep(period)
+                continue
             try:
                 yield from self._send_update()
             except Exception:  # noqa: BLE001 - migd may not be up yet

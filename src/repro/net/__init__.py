@@ -1,12 +1,13 @@
 """Network substrate: shared-medium LAN and kernel-to-kernel RPC."""
 
-from .lan import HostDownError, Lan, NetNode, Packet
+from .lan import HostDownError, Lan, NetNode, NetworkPartitionedError, Packet
 from .rpc import Reply, RpcError, RpcPort, RpcTimeout
 
 __all__ = [
     "HostDownError",
     "Lan",
     "NetNode",
+    "NetworkPartitionedError",
     "Packet",
     "Reply",
     "RpcError",

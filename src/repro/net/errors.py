@@ -1,0 +1,39 @@
+"""Network failure hierarchy, shared by the LAN and RPC layers.
+
+One tree, so callers can be exactly as discriminating as they need:
+
+* :class:`RpcError` — any communication failure; catching this is the
+  "abort cleanly, stay put" policy the migration protocol uses.
+* :class:`RpcTimeout` — silence: retries exhausted with no answer.
+* :class:`HostDownError` — the LAN knows the destination is down
+  (raised at send time, no timeout needed).
+* :class:`NetworkPartitionedError` — the fault fabric has no path
+  between the hosts.  A subclass of :class:`HostDownError` on purpose:
+  to a sender, a partitioned peer is indistinguishable from a dead one,
+  so every existing retry/abort path handles partitions for free.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RpcError",
+    "RpcTimeout",
+    "HostDownError",
+    "NetworkPartitionedError",
+]
+
+
+class RpcError(Exception):
+    """Base class for remote-communication failures."""
+
+
+class RpcTimeout(RpcError):
+    """No reply within the timeout, after all retries."""
+
+
+class HostDownError(RpcError):
+    """Raised when sending to a node that is marked down."""
+
+
+class NetworkPartitionedError(HostDownError):
+    """The link fabric has no path between the two hosts."""

@@ -19,11 +19,9 @@ from typing import Any, Dict, Generator, List, Optional
 from ..config import ClusterParams
 from ..sim import Channel, Effect, Resource, Simulator, Sleep, Tracer
 
-__all__ = ["Packet", "NetNode", "Lan", "HostDownError"]
+from .errors import HostDownError, NetworkPartitionedError
 
-
-class HostDownError(Exception):
-    """Raised when sending to a node that is marked down."""
+__all__ = ["Packet", "NetNode", "Lan", "HostDownError", "NetworkPartitionedError"]
 
 
 @dataclass
@@ -75,6 +73,11 @@ class Lan:
         #: ``None`` until the observability layer installs a dict, so an
         #: unobserved run pays only an ``is not None`` test per message.
         self.kind_bytes: Optional[Dict[str, int]] = None
+        #: Optional link-state fabric (partitions, per-link loss/delay);
+        #: ``None`` until a fault injector installs one
+        #: (:class:`repro.faults.LinkFabric`), so a fault-free run pays
+        #: only an ``is not None`` test per message.
+        self.fabric: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def register(self, node: NetNode) -> int:
@@ -101,15 +104,28 @@ class Lan:
         dst = self.nodes.get(packet.dst)
         if dst is None:
             raise HostDownError(f"no node at address {packet.dst}")
+        deliver, extra_delay = True, 0.0
+        if self.fabric is not None:
+            # Raises NetworkPartitionedError when no path exists.
+            deliver, extra_delay = self.fabric.unicast(packet.src, packet.dst)
         packet.send_time = self.sim.now
         yield from self._occupy_medium(packet.size)
-        yield Sleep(self.params.net_latency)
+        yield Sleep(self.params.net_latency + extra_delay)
         self.messages_sent += 1
         self.bytes_sent += packet.size
         if self.kind_bytes is not None:
             self.kind_bytes[packet.kind] = (
                 self.kind_bytes.get(packet.kind, 0) + packet.size
             )
+        if not deliver:
+            # Lost in flight: the wire time was spent but nothing
+            # arrives; the caller discovers the loss by timeout.
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, "lan", "drop",
+                    src=packet.src, dst=packet.dst, msg=packet.kind,
+                )
+            return
         if not dst.up:
             raise HostDownError(f"host {dst.name} is down")
         if self.tracer.enabled:
@@ -136,8 +152,13 @@ class Lan:
         dst_node = self.nodes.get(dst)
         if dst_node is not None and not dst_node.up:
             raise HostDownError(f"host {dst_node.name} is down")
+        extra_delay = 0.0
+        if self.fabric is not None:
+            # Bulk data rides a retransmitting transport: loss shows up
+            # as added delay, a partition as an unreachable peer.
+            extra_delay = self.fabric.bulk(src, dst)
         yield from self._occupy_medium(nbytes)
-        yield Sleep(self.params.net_latency)
+        yield Sleep(self.params.net_latency + extra_delay)
         self.messages_sent += 1
         self.bytes_sent += nbytes
         if self.kind_bytes is not None:
@@ -167,8 +188,11 @@ class Lan:
         # the buffer/wakeup bookkeeping stays per-channel and synchronous,
         # so the delivery order matches per-receiver try_put exactly.
         wakeups: List[Any] = []
+        fabric = self.fabric
         for address, node in sorted(self.nodes.items()):
             if address in skip or not node.up:
+                continue
+            if fabric is not None and not fabric.multicast(packet.src, address):
                 continue
             copy = Packet(packet.src, address, packet.kind, packet.payload, packet.size)
             copy.send_time = packet.send_time

@@ -30,21 +30,14 @@ from ..sim import (
     spawn,
     with_timeout,
 )
-from .lan import HostDownError, Lan, NetNode, Packet
+from .errors import RpcError, RpcTimeout
+from .lan import HostDownError, Lan, NetNode, NetworkPartitionedError, Packet
 
 __all__ = ["RpcPort", "RpcStats", "RpcTimeout", "RpcError", "Reply"]
 
 #: Default request/reply payload sizes in bytes (small control messages).
 DEFAULT_REQUEST_SIZE = 256
 DEFAULT_REPLY_SIZE = 128
-
-
-class RpcError(Exception):
-    """Base class for RPC transport errors."""
-
-
-class RpcTimeout(RpcError):
-    """The callee did not answer within the timeout (possibly down)."""
 
 
 @dataclass
@@ -119,6 +112,8 @@ class RpcPort:
         self.calls_served = 0
         #: Optional per-service accounting; installed by the obs layer.
         self.stats: Optional[RpcStats] = None
+        #: Lazily-seeded RNG for retry jitter (deterministic per port).
+        self._backoff_rng = None
         #: Cluster-wide span tracer (disabled by default).
         self.spans = SpanTracer.for_tracer(self.tracer)
         self._server_task = spawn(
@@ -207,6 +202,32 @@ class RpcPort:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
+    def _retry_backoff(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (0-based): jittered exponential.
+
+        Base doubles per attempt up to ``params.rpc_backoff_cap``; the
+        jitter factor comes from a per-port RNG seeded from
+        ``params.seed`` and the node name, so runs are reproducible but
+        callers that lost the same host do not retry in lockstep.
+        """
+        params = self.params
+        delay = min(params.rpc_backoff_base * (2.0 ** attempt), params.rpc_backoff_cap)
+        jitter = params.rpc_backoff_jitter
+        if jitter > 0.0:
+            rng = self._backoff_rng
+            if rng is None:
+                import zlib
+
+                import numpy as np
+
+                rng = np.random.default_rng(
+                    (params.seed << 32)
+                    ^ zlib.crc32(f"rpc-backoff:{self.node.name}".encode())
+                )
+                self._backoff_rng = rng
+            delay *= 1.0 + jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
     def call(
         self,
         dst: int,
@@ -262,9 +283,8 @@ class RpcPort:
                 yield from self.lan.send(packet)
             except HostDownError as err:
                 last_error = err
-                # Back off before retrying a dead host — real RPC waits
-                # out its timeout rather than spinning.
-                yield Sleep(timeout if timeout is not None else self.params.rpc_timeout)
+                if _attempt + 1 < attempts:
+                    yield Sleep(self._retry_backoff(_attempt))
                 continue
             if timeout is None:
                 value = yield reply_event.wait()
@@ -276,12 +296,19 @@ class RpcPort:
                 last_error = RpcTimeout(
                     f"{service} on host {dst} timed out after {timeout}s"
                 )
+                if _attempt + 1 < attempts:
+                    yield Sleep(self._retry_backoff(_attempt))
                 continue
             if span is not None:
                 span.finish(self.sim.now, outcome="ok", attempts=_attempt + 1)
             return value
         if span is not None:
             span.finish(self.sim.now, outcome="timeout", attempts=attempts)
+        if isinstance(last_error, NetworkPartitionedError):
+            # A partition verdict is definitive (the fabric said "no
+            # path"), not a silence we timed out on — let callers tell
+            # the two apart.
+            raise last_error
         raise RpcTimeout(
             f"{service} on host {dst} unreachable after {attempts} attempt(s): "
             f"{last_error}"

@@ -367,6 +367,25 @@ class Task(_Waiter):
         """Interrupt with no cause; the task dies unless it catches it."""
         return self.interrupt(cause=None)
 
+    def abort(self, cause: object = None) -> bool:
+        """Terminate the task *without resuming it*.
+
+        Unlike :meth:`interrupt`, the generator never runs again: no
+        ``except Interrupted`` handler fires, only ``finally`` blocks
+        (via generator close).  This models losing power mid-instruction
+        — a crashed host's processes must not execute exit bookkeeping.
+        Joiners are resumed with ``cause``, as for an uncaught
+        interrupt.  Returns False if the task had already finished.
+        """
+        if self.done:
+            return False
+        pending, self._pending = self._pending, None
+        if pending is not None:
+            pending.cancel(self)
+        self._interrupt_pending = None
+        self._finish(interrupt=Interrupted(cause))
+        return True
+
 
 def spawn(sim: Simulator, gen: TaskGen, name: str = "task", daemon: bool = False) -> Task:
     """Create and start a task (sugar for the :class:`Task` constructor)."""

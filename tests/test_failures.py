@@ -1,4 +1,10 @@
-"""Failure injection: crashed hosts, dead servers, aborted migrations."""
+"""Failure injection: crashed hosts, dead servers, aborted migrations.
+
+Faults are driven through :mod:`repro.faults` (the chaos engine);
+``test_target_crash_during_install_rolls_back`` is kept in the old
+handler-sabotage style on purpose, as a regression test that raw RPC
+surgery still composes with the migration protocol.
+"""
 
 import pytest
 
@@ -6,17 +12,18 @@ from repro import SpriteCluster
 from repro.fs import OpenMode
 from repro.loadsharing import LoadSharingService
 from repro.migration import MigrationRefused
-from repro.net import RpcError, RpcTimeout
+from repro.net import NetworkPartitionedError, RpcError, RpcTimeout
 from repro.sim import Sleep, run_until_complete, spawn
 
 
-def test_read_from_downed_server_times_out():
+def test_read_from_crashed_server_times_out():
     cluster = SpriteCluster(
         workstations=1, start_daemons=False,
     )
     cluster.params.rpc_timeout = 0.5
     cluster.params.rpc_retries = 0
     cluster.add_file("/f", size=4096)
+    injector = cluster.faults()
 
     def job(proc):
         fd = yield from proc.open("/f", OpenMode.READ)
@@ -31,12 +38,36 @@ def test_read_from_downed_server_times_out():
     assert cluster.run_process(cluster.hosts[0], job) == "timeout"
 
 
-def test_migration_to_downed_target_aborts_cleanly():
+def test_read_from_partitioned_server_fails_fast():
+    """Unlike a silent crash (timeout), a partition is detected at the
+    fabric and surfaces immediately as NetworkPartitionedError."""
+    cluster = SpriteCluster(workstations=1, start_daemons=False)
+    cluster.params.rpc_retries = 0
+    cluster.add_file("/f", size=4096)
+    injector = cluster.faults()
+
+    def job(proc):
+        fd = yield from proc.open("/f", OpenMode.READ)
+        injector.partition([cluster.hosts[0]])
+        started = proc.sim.now
+        try:
+            yield from proc.read(fd, 4096)
+        except NetworkPartitionedError:
+            return proc.sim.now - started
+        return None
+
+    elapsed = cluster.run_process(cluster.hosts[0], job)
+    assert elapsed is not None
+    assert elapsed < cluster.params.rpc_timeout
+
+
+def test_migration_to_crashed_target_aborts_cleanly():
     cluster = SpriteCluster(workstations=2, start_daemons=False)
     cluster.params.rpc_timeout = 0.5
     cluster.params.rpc_retries = 0
     a, b = cluster.hosts[0], cluster.hosts[1]
-    b.node.up = False
+    injector = cluster.faults()
+    injector.crash_host(b)
 
     def job(proc):
         yield from proc.compute(3.0)
@@ -60,7 +91,8 @@ def test_migration_to_downed_target_aborts_cleanly():
 
 def test_target_crash_during_install_rolls_back():
     """The target accepts, then dies before install: the process must
-    resume on the source with its streams intact."""
+    resume on the source with its streams intact.  (Legacy style: the
+    crash is a sabotaged RPC handler, not an injector action.)"""
     cluster = SpriteCluster(workstations=2, start_daemons=False)
     cluster.params.rpc_timeout = 0.5
     cluster.params.rpc_retries = 0
@@ -106,6 +138,7 @@ def test_target_crash_during_install_rolls_back():
 def test_migd_crash_degrades_to_local_then_recovers():
     cluster = SpriteCluster(workstations=4, start_daemons=True)
     service = LoadSharingService(cluster, architecture="centralized")
+    injector = cluster.faults(service=service)
     cluster.run(until=45.0)
     selector = service.selector_for(cluster.hosts[0])
 
@@ -117,8 +150,7 @@ def test_migd_crash_degrades_to_local_then_recovers():
     granted = run_until_complete(cluster.sim, before_crash(), name="before")
     assert len(granted) == 2
 
-    # Crash migd.
-    service.migd.stop()
+    injector.kill_migd()
 
     def during_outage():
         granted = yield from selector.request(2)
@@ -129,7 +161,7 @@ def test_migd_crash_degrades_to_local_then_recovers():
     assert selector.failures >= 1
 
     # Restart: hosts re-announce within one availability period.
-    service.migd.restart()
+    injector.restart_migd()
     cluster.run(until=cluster.sim.now + 3 * cluster.params.availability_period)
 
     def after_restart():
@@ -140,11 +172,14 @@ def test_migd_crash_degrades_to_local_then_recovers():
     assert len(granted) == 2
 
 
-def test_eviction_daemon_survives_unreachable_home():
+def test_eviction_daemon_survives_partitioned_home():
+    """A partition (not a crash: home state must survive) makes the
+    home unreachable mid-eviction; the daemon retries after the heal."""
     cluster = SpriteCluster(workstations=2, start_daemons=True)
     cluster.params.rpc_timeout = 0.5
     cluster.params.rpc_retries = 0
     a, b = cluster.hosts[0], cluster.hosts[1]
+    injector = cluster.faults()
 
     def job(proc):
         yield from proc.compute(30.0)
@@ -156,11 +191,11 @@ def test_eviction_daemon_survives_unreachable_home():
         yield Sleep(0.5)
         yield from cluster.managers[a.address].migrate(pcb, b.address)
         yield Sleep(2.0)
-        a.node.up = False      # home crashes
-        b.user_input()         # owner returns: eviction will fail
+        injector.partition([a])   # home unreachable (state intact)
+        b.user_input()            # owner returns: eviction will fail
         yield Sleep(5.0)
-        a.node.up = True       # home comes back
-        b.user_input()         # daemon retries and succeeds
+        injector.heal()
+        b.user_input()            # daemon retries and succeeds
 
     spawn(cluster.sim, driver(), name="driver", daemon=True)
     final = cluster.run_until_complete(pcb.task)

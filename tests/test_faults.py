@@ -1,0 +1,419 @@
+"""The chaos engine: plans, fabric, injector, invariants, determinism."""
+
+import pytest
+
+from repro import SpriteCluster
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    InvariantChecker,
+    LinkFabric,
+    run_chaos,
+)
+from repro.fs import OpenMode
+from repro.kernel import ProcState, signals as sig
+from repro.loadsharing import LoadSharingService
+from repro.net import NetworkPartitionedError, Packet
+from repro.sim import RandomStreams, Simulator, Sleep, run_until_complete, spawn
+
+
+# ----------------------------------------------------------------------
+# Task.abort (the crash primitive)
+# ----------------------------------------------------------------------
+def test_task_abort_runs_finally_but_no_more_code():
+    sim = Simulator()
+    events = []
+
+    def body():
+        try:
+            yield Sleep(10.0)
+            events.append("resumed")
+        finally:
+            events.append("finally")
+
+    task = spawn(sim, body(), name="victim")
+    sim.run(until=1.0)
+    assert task.abort(("crashed", 1))
+    assert task.done
+    assert task.result == ("crashed", 1)
+    sim.run(until=20.0)
+    # The finally ran (GeneratorExit), but the task never resumed.
+    assert events == ["finally"]
+    assert not task.abort()     # already dead: no-op
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+def test_plan_builders_and_ordering():
+    plan = (
+        FaultPlan()
+        .host_outage(10.0, "ws1", 5.0)
+        .partition(2.0, ["ws0", "ws1"])
+        .heal(4.0)
+        .migd_outage(3.0, 1.0)
+    )
+    times = [a.time for a in plan.sorted_actions()]
+    assert times == sorted(times)
+    kinds = [a.kind for a in plan.sorted_actions()]
+    assert kinds == ["partition", "migd_kill", "heal", "migd_restart",
+                     "host_crash", "host_reboot"]
+    with pytest.raises(ValueError):
+        plan.add(-1.0, "host_crash", "ws0")
+    with pytest.raises(ValueError):
+        plan.add(1.0, "meteor_strike", "ws0")
+
+
+def test_random_plan_is_seed_deterministic():
+    a = FaultPlan.random(RandomStreams(seed=5), ["ws0", "ws1"], 100.0,
+                         mtbf=20.0, link_glitches=2)
+    b = FaultPlan.random(RandomStreams(seed=5), ["ws0", "ws1"], 100.0,
+                         mtbf=20.0, link_glitches=2)
+    c = FaultPlan.random(RandomStreams(seed=6), ["ws0", "ws1"], 100.0,
+                         mtbf=20.0, link_glitches=2)
+    assert a.actions == b.actions
+    assert a.actions != c.actions
+    assert len(a) > 0
+    assert all(act.time <= 100.0 for act in a.actions)
+
+
+# ----------------------------------------------------------------------
+# LinkFabric
+# ----------------------------------------------------------------------
+def test_fabric_partition_and_links():
+    fabric = LinkFabric()
+    assert fabric.unicast(1, 2) == (True, 0.0)
+    fabric.partition([[1], [2]])
+    with pytest.raises(NetworkPartitionedError):
+        fabric.unicast(1, 2)
+    with pytest.raises(NetworkPartitionedError):
+        fabric.bulk(1, 2)
+    assert not fabric.multicast(1, 2)
+    # Unlisted addresses share the residual group: 3 and 4 still talk.
+    assert fabric.unicast(3, 4) == (True, 0.0)
+    fabric.heal()
+    fabric.set_link(1, 2, drop=0.0, delay=0.25)
+    assert fabric.unicast(2, 1) == (True, 0.25)     # undirected
+    assert fabric.bulk(1, 2) == 0.25
+    fabric.clear_link(1, 2)
+    assert fabric.unicast(1, 2) == (True, 0.0)
+    with pytest.raises(ValueError):
+        fabric.set_link(1, 2, drop=1.5)
+
+
+def test_fabric_drops_are_seed_deterministic():
+    def draws(seed):
+        fabric = LinkFabric(rng=RandomStreams(seed=seed).stream("faults.net"))
+        fabric.set_link(1, 2, drop=0.5)
+        return [fabric.unicast(1, 2)[0] for _ in range(64)]
+
+    assert draws(3) == draws(3)
+    assert draws(3) != draws(4)
+    dropped = draws(3).count(False)
+    assert 0 < dropped < 64
+
+
+# ----------------------------------------------------------------------
+# RPC retry backoff (deterministic, capped)
+# ----------------------------------------------------------------------
+def test_rpc_backoff_deterministic_and_capped():
+    cluster_a = SpriteCluster(workstations=2, start_daemons=False)
+    cluster_b = SpriteCluster(workstations=2, start_daemons=False)
+    port_a = cluster_a.hosts[0].rpc
+    port_b = cluster_b.hosts[0].rpc
+    seq_a = [port_a._retry_backoff(i) for i in range(8)]
+    seq_b = [port_b._retry_backoff(i) for i in range(8)]
+    assert seq_a == seq_b           # same seed, same node -> same jitter
+    params = cluster_a.params
+    ceiling = params.rpc_backoff_cap * (1.0 + params.rpc_backoff_jitter)
+    assert all(0.0 < d <= ceiling for d in seq_a)
+    # Different nodes decorrelate (no retry lockstep).
+    other = [cluster_a.hosts[1].rpc._retry_backoff(i) for i in range(8)]
+    assert other != seq_a
+
+
+def test_rpc_retries_back_off_exponentially_on_down_host():
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    cluster.params.rpc_retries = 3
+    cluster.params.rpc_backoff_jitter = 0.0     # exact delays
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    b.node.up = False
+
+    def caller():
+        started = cluster.sim.now
+        try:
+            yield from a.rpc.call(b.address, "proc.ping", {})
+        except Exception:
+            pass
+        return cluster.sim.now - started
+
+    elapsed = run_until_complete(cluster.sim, caller(), name="caller")
+    params = cluster.params
+    backoffs = sum(
+        min(params.rpc_backoff_base * 2.0 ** i, params.rpc_backoff_cap)
+        for i in range(3)
+    )
+    # Down-host sends fail without consuming the timeout; total wait is
+    # the backoff series (plus wire/cpu epsilon).
+    assert elapsed == pytest.approx(backoffs, rel=0.1)
+
+
+# ----------------------------------------------------------------------
+# Host crash / reboot lifecycle
+# ----------------------------------------------------------------------
+def _migrated_job(cluster, a, b):
+    """Start a 30s job homed on ``a`` and migrate it to ``b``."""
+    def job(proc):
+        yield from proc.compute(30.0)
+        return 0
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        yield Sleep(0.5)
+        yield from cluster.managers[a.address].migrate(pcb, b.address)
+
+    drv = spawn(cluster.sim, driver(), name="driver")
+    cluster.run(until=5.0)
+    assert drv.done and drv.exception is None
+    return pcb
+
+
+def test_remote_host_crash_reaps_shadow_and_unblocks_parent():
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    cluster.params.rpc_timeout = 0.5
+    cluster.params.rpc_retries = 0
+    injector = cluster.faults(detect_delay=2.0)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    pcb = _migrated_job(cluster, a, b)
+    assert a.kernel.procs[pcb.pid].state == ProcState.MIGRATED
+
+    lost = injector.crash_host(b)
+    assert [p.pid for p in lost] == [pcb.pid]
+    assert pcb.pid in injector.lost_pids()
+    cluster.run(until=cluster.sim.now + 5.0)    # detection delay elapses
+
+    shadow = a.kernel.procs[pcb.pid]
+    assert shadow.state == ProcState.ZOMBIE
+    assert shadow.exit_status.code == 128 + sig.SIGKILL
+    assert injector.reaped == 1
+    InvariantChecker(cluster, injector).assert_clean(expected_pids=[pcb.pid])
+
+
+def test_home_crash_orphans_remote_process():
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    cluster.params.rpc_timeout = 0.5
+    cluster.params.rpc_retries = 0
+    injector = cluster.faults(detect_delay=2.0)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    pcb = _migrated_job(cluster, a, b)
+    remote = b.kernel.procs[pcb.pid]
+    assert remote.state == ProcState.RUNNING
+
+    injector.crash_host(a)                      # the home dies
+    cluster.run(until=cluster.sim.now + 5.0)    # detection delay elapses
+
+    # Orphan detection: the dependent remote process was killed.
+    assert injector.orphaned == 1
+    assert pcb.pid not in b.kernel.procs
+    assert remote.task.done
+    InvariantChecker(cluster, injector).assert_clean(expected_pids=[pcb.pid])
+
+
+def test_reboot_reannounces_to_migd_within_one_period():
+    cluster = SpriteCluster(workstations=3, start_daemons=True)
+    service = LoadSharingService(cluster, architecture="centralized")
+    injector = cluster.faults(service=service, detect_delay=2.0)
+    victim = cluster.hosts[2]
+    cluster.run(until=30.0)
+    assert service.migd.hosts[victim.address].available
+
+    injector.crash_host(victim)
+    cluster.run(until=cluster.sim.now + 5.0)
+    assert not service.migd.hosts[victim.address].available
+
+    injector.reboot_host(victim)
+    cluster.run(
+        until=cluster.sim.now + 2 * cluster.params.availability_period
+    )
+    assert service.migd.hosts[victim.address].available
+    assert victim.crashes == 1
+
+
+# ----------------------------------------------------------------------
+# Crash during recovery
+# ----------------------------------------------------------------------
+def test_server_crash_again_during_reopen_then_final_recovery():
+    """The server dies *again* while a client is mid-``fs.reopen``; the
+    recovery driver logs the failure and the next restart completes
+    recovery, leaving the invariants clean."""
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    cluster.params.rpc_timeout = 0.5
+    cluster.params.rpc_retries = 0
+    injector = cluster.faults()
+    cluster.add_file("/a", size=8192)
+    cluster.add_file("/b", size=8192)
+    h0, h1 = cluster.hosts[0], cluster.hosts[1]
+    server_rpc = cluster.server_hosts[0].rpc
+    original_reopen = server_rpc._services["fs.reopen"]
+
+    def scenario():
+        s0 = yield from h0.fs.open("/a", OpenMode.READ_WRITE)
+        s1 = yield from h1.fs.open("/b", OpenMode.READ_WRITE)
+        yield from h0.fs.write(s0, 4096)        # dirty, delayed-write
+        injector.crash_server(0)
+
+        # Sabotage: the first reopen crashes the server mid-call and
+        # never answers, so recovery dies halfway through.
+        def crash_mid_reopen(args):
+            injector.crash_server(0)
+            yield Sleep(60.0)
+
+        server_rpc.register("fs.reopen", crash_mid_reopen)
+        injector.restart_server(0)
+        yield Sleep(3.0)
+        assert any(e.kind == "recovery_failed" for e in injector.log)
+
+        # Second restart with a healthy handler: recovery completes.
+        server_rpc.register("fs.reopen", original_reopen)
+        injector.restart_server(0)
+        yield Sleep(3.0)
+        assert any(e.kind == "recovered" for e in injector.log)
+
+        # Streams survived two crashes; I/O works again end to end.
+        n = yield from h0.fs.read(s0, 1024)
+        assert n == 1024
+        yield from h0.fs.close(s0)
+        yield from h1.fs.close(s1)
+
+    run_until_complete(cluster.sim, scenario(), name="scenario")
+    assert cluster.file_server.reopens >= 2
+    InvariantChecker(cluster, injector).assert_clean()
+
+
+def test_host_crash_mid_broadcast_is_skipped_cleanly():
+    """A receiver that dies while the packet is on the wire just misses
+    the message — no error, no stuck delivery, invariants clean."""
+    from repro.net import NetNode
+
+    cluster = SpriteCluster(workstations=3, start_daemons=False)
+    injector = cluster.faults()
+    h0, h1, h2 = cluster.hosts
+    # A bare observer endpoint: host inboxes are drained by their RPC
+    # server daemons, so delivery is asserted on this node instead.
+    observer = NetNode(cluster.sim, "observer")
+    cluster.lan.register(observer)
+
+    def scenario():
+        packet = Packet(
+            src=h0.address, dst=0, kind="test-bcast", payload="hi", size=1024
+        )
+        bcast = spawn(cluster.sim, cluster.lan.broadcast(packet),
+                      name="bcast")
+        # Crash h1 while the packet is still on the medium.
+        yield Sleep(cluster.lan.transmission_time(1024) * 0.5)
+        injector.crash_host(h1)
+        assert not h1.node.up
+        yield bcast.join()
+        return None
+
+    run_until_complete(cluster.sim, scenario(), name="scenario")
+    ok, got = observer.inbox.try_get()
+    assert ok and got.kind == "test-bcast"      # up receivers got it
+    ok, _ = h1.node.inbox.try_get()
+    assert not ok                               # crashed mid-flight: missed it
+    injector.reboot_host(h1)
+    InvariantChecker(cluster, injector).assert_clean()
+
+
+# ----------------------------------------------------------------------
+# Partitions through the full stack
+# ----------------------------------------------------------------------
+def test_partition_blocks_migration_and_heal_restores():
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    cluster.params.rpc_retries = 0
+    injector = cluster.faults()
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(10.0)
+        return proc.pcb.current
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        from repro.migration import MigrationRefused
+
+        yield Sleep(0.5)
+        injector.partition([a], [b])
+        refused = False
+        try:
+            yield from cluster.managers[a.address].migrate(pcb, b.address)
+        except MigrationRefused:
+            refused = True
+        injector.heal()
+        yield from cluster.managers[a.address].migrate(pcb, b.address)
+        return refused
+
+    drv = spawn(cluster.sim, driver(), name="driver")
+    final = cluster.run_until_complete(pcb.task)
+    assert drv.result is True
+    assert final == b.address
+    assert injector.fabric.blocked > 0
+    InvariantChecker(cluster, injector).assert_clean(expected_pids=[pcb.pid])
+
+
+# ----------------------------------------------------------------------
+# The chaos harness (golden determinism test)
+# ----------------------------------------------------------------------
+def test_chaos_run_is_clean_and_byte_identical():
+    first = run_chaos(seed=11, workstations=4, duration=50.0, jobs=5)
+    second = run_chaos(seed=11, workstations=4, duration=50.0, jobs=5)
+    assert first.violations == []
+    assert first.faults > 0
+    assert first.jobs == 5
+    # Same seed + same plan => byte-identical traces.
+    assert first.fingerprint == second.fingerprint
+    assert first.to_dict() == second.to_dict()
+    # A different seed must not collide.
+    other = run_chaos(seed=12, workstations=4, duration=50.0, jobs=5)
+    assert other.fingerprint != first.fingerprint
+    assert other.violations == []
+
+
+def test_chaos_random_churn_stays_clean():
+    report = run_chaos(
+        seed=2, workstations=4, duration=60.0, jobs=5,
+        random_churn=True, mtbf=25.0,
+    )
+    assert report.violations == []
+    assert report.faults > 0
+
+
+# ----------------------------------------------------------------------
+# Invariant checker actually catches breakage
+# ----------------------------------------------------------------------
+def test_invariant_checker_flags_duplicated_process():
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.compute(5.0)
+        return 0
+
+    pcb, _ = a.spawn_process(job, name="job")
+    cluster.run(until=1.0)
+    # Forge a second RUNNING entry for the same pid on another kernel.
+    b.kernel.procs[pcb.pid] = pcb
+    violations = InvariantChecker(cluster).check()
+    kinds = {v.kind for v in violations}
+    assert "duplicated-process" in kinds
+
+
+def test_invariant_checker_flags_lost_process():
+    cluster = SpriteCluster(workstations=1, start_daemons=False)
+    checker = InvariantChecker(cluster)
+    violations = checker.check(expected_pids=[1000042])
+    assert [v.kind for v in violations] == ["lost-process"]
+    with pytest.raises(AssertionError):
+        checker.assert_clean(expected_pids=[1000042])
