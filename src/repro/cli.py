@@ -286,6 +286,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import run_chaos
 
     seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    if args.crash_matrix:
+        return _cmd_crash_matrix(args, seeds)
     reports = []
     failed = False
     for seed in seeds:
@@ -324,6 +326,43 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 print(f"    {event}")
             for violation in report.violations:
                 print(f"    VIOLATION {violation}")
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=1,
+                         sort_keys=True))
+    return 1 if failed else 0
+
+
+def _cmd_crash_matrix(args: argparse.Namespace, seeds: list) -> int:
+    """The exhaustive migration-transaction crash matrix."""
+    import json
+
+    from .faults import run_matrix
+
+    failed = False
+    reports = []
+    for seed in seeds:
+        report = run_matrix(seed=seed, max_cells=args.cells)
+        reports.append(report)
+        if args.verify_determinism:
+            again = run_matrix(seed=seed, max_cells=args.cells)
+            if again.fingerprint != report.fingerprint:
+                failed = True
+                print(f"seed {seed}: NONDETERMINISTIC "
+                      f"({report.fingerprint[:16]} != "
+                      f"{again.fingerprint[:16]})", file=sys.stderr)
+        if not report.clean:
+            failed = True
+        if not args.json:
+            clean = sum(1 for c in report.cells if c.clean)
+            status = "CLEAN" if report.clean else "VIOLATIONS"
+            print(f"seed {seed}: {status} — {clean}/{len(report.cells)} "
+                  f"cells clean, fingerprint {report.fingerprint[:16]}")
+            for cell in report.cells:
+                print(f"    {cell}")
+                for violation in cell.in_flight_violations:
+                    print(f"        IN-FLIGHT VIOLATION {violation}")
+                for violation in cell.violations:
+                    print(f"        VIOLATION {violation}")
     if args.json:
         print(json.dumps([r.to_dict() for r in reports], indent=1,
                          sort_keys=True))
@@ -402,6 +441,15 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--verify-determinism", action="store_true",
                        help="run each seed twice and require "
                             "byte-identical trace fingerprints")
+    chaos.add_argument("--crash-matrix", action="store_true",
+                       help="run the migration-transaction crash matrix "
+                            "({source,target,home,fs} x {crash,partition} "
+                            "x every txn step boundary) instead of the "
+                            "workload gauntlet")
+    chaos.add_argument("--cells", type=int, default=None,
+                       help="with --crash-matrix: bound the run to an "
+                            "evenly-spread subset of this many cells "
+                            "(default: all 88)")
     chaos.add_argument("--json", action="store_true",
                        help="machine-readable report on stdout")
     return parser

@@ -106,6 +106,19 @@ class ClusterParams:
     #: Protocol version advertised by each kernel; mismatched kernels
     #: refuse to migrate (thesis §4.5).
     migration_version: int = 9
+    #: Lease on the inactive copy a target installs before the commit
+    #: point: if no ``mig.commit`` arrives within this many seconds of
+    #: negotiation the target reaps the copy and reclaims its memory.
+    migration_ticket_ttl: float = 30.0
+    #: Attempts per compensating action when an aborting migration
+    #: replays its undo log (each retry backed off with the jittered
+    #: RPC schedule); exhausting them hands the remainder to a
+    #: background repair task and bumps ``rollback_incomplete``.
+    migration_rollback_retries: int = 4
+    #: Ablation knob for benchmarks: disable the migration write-ahead
+    #: journal (protocol unchanged; recovery and the crash matrix
+    #: require it on).
+    migration_txn_journal: bool = True
 
     # --- load sharing -----------------------------------------------------
     #: A host counts as idle when its load average is below this and no

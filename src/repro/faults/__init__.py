@@ -17,12 +17,25 @@ reproducible:
 * :mod:`.chaos`      — :func:`run_chaos`: workload + plan + audit, with
   a trace fingerprint for byte-identical determinism checks
   (``python -m repro chaos``).
+* :mod:`.crashmatrix` — :func:`run_matrix`: the exhaustive {source,
+  target, home, FS server} x {crash, partition} x txn-step-boundary
+  sweep over the migration transaction
+  (``python -m repro chaos --crash-matrix``).
 
 Everything is zero-cost when absent: a cluster with no injector runs
 the exact same instruction path as before this package existed.
 """
 
 from .chaos import ChaosReport, builtin_plan, run_chaos, trace_fingerprint
+from .crashmatrix import (
+    MATRIX_KINDS,
+    MATRIX_VICTIMS,
+    CellResult,
+    MatrixReport,
+    matrix_cells,
+    run_cell,
+    run_matrix,
+)
 from .fabric import LinkFabric, LinkState
 from .injector import FaultEvent, FaultInjector
 from .invariants import InvariantChecker, Violation
@@ -30,6 +43,9 @@ from .plan import FAULT_KINDS, FaultAction, FaultPlan
 
 __all__ = [
     "FAULT_KINDS",
+    "MATRIX_KINDS",
+    "MATRIX_VICTIMS",
+    "CellResult",
     "ChaosReport",
     "FaultAction",
     "FaultEvent",
@@ -38,8 +54,12 @@ __all__ = [
     "InvariantChecker",
     "LinkFabric",
     "LinkState",
+    "MatrixReport",
     "Violation",
     "builtin_plan",
+    "matrix_cells",
+    "run_cell",
     "run_chaos",
+    "run_matrix",
     "trace_fingerprint",
 ]

@@ -13,6 +13,18 @@ After any run — scripted plan, random churn, or a hand-driven test —
 * **Fault accounting** (with an injector): processes the plan killed
   are exactly the ones missing — nothing vanished without a recorded
   crash, nothing rose from the dead.
+* **Transaction hygiene** (quiesced): once in-flight work has drained
+  — every lease TTL expired, every recovery and repair daemon done —
+  no migration manager may still hold a ticket lease or a reservation,
+  no journal may have an open transaction on an up host, and no file
+  server may track a migrated-stream reference for a stream its (up)
+  client no longer has open.
+
+:meth:`audit_in_flight` is the instantaneous variant the crash matrix
+runs *at* a fault boundary: every expected pid must have exactly one
+runnable copy cluster-wide right now.  Inactive copies installed under
+an unexpired :class:`~repro.migration.TicketLease` are legal and
+counted — the caller asserts they drain to zero by quiesce.
 
 Checks return :class:`Violation` values rather than raising, so the
 chaos CLI can report all of them; tests use :meth:`assert_clean`.
@@ -21,7 +33,7 @@ chaos CLI can report all of them; tests use :meth:`assert_clean`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Set
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..kernel import ProcState, home_of_pid
 from ..migration import refusal_reasons
@@ -53,6 +65,9 @@ class InvariantChecker:
         violations: List[Violation] = []
         violations.extend(self._check_placement())
         violations.extend(self._check_records())
+        violations.extend(self._check_leases())
+        violations.extend(self._check_journals())
+        violations.extend(self._check_stream_refs())
         if expected_pids is not None:
             violations.extend(self._check_conservation(set(expected_pids)))
         return violations
@@ -159,3 +174,151 @@ class InvariantChecker:
                 continue
             violations.append(Violation("lost-process", {"pid": pid}))
         return violations
+
+    # ------------------------------------------------------------------
+    # Migration-transaction hygiene (quiesced cluster)
+    # ------------------------------------------------------------------
+    def _check_leases(self) -> List[Violation]:
+        """No expired ticket lease may linger, and a manager's memory
+        reservation must equal the sum over the leases it still holds —
+        a mismatch means an abort path forgot to give bytes back."""
+        violations: List[Violation] = []
+        now = self.cluster.sim.now
+        for address in sorted(self.cluster.managers):
+            manager = self.cluster.managers[address]
+            if not manager.host.node.up:
+                continue
+            held = 0
+            for (pid, ticket_id), lease in sorted(manager._tickets.items()):
+                held += lease.reserved_bytes
+                if now > lease.expires:
+                    violations.append(Violation(
+                        "leaked-ticket",
+                        {"host": address, "pid": pid, "ticket": ticket_id,
+                         "status": lease.status, "expires": lease.expires},
+                    ))
+            if manager.reserved_bytes != held:
+                violations.append(Violation(
+                    "leaked-reservation",
+                    {"host": address, "reserved": manager.reserved_bytes,
+                     "held_by_leases": held},
+                ))
+        return violations
+
+    def _check_journals(self) -> List[Violation]:
+        """Every journalled transaction on an up host must eventually
+        finish.  A transaction still open past its lease window can no
+        longer be legitimately in flight: recovery, the commit resolver
+        or the rollback repair task should have closed it."""
+        violations: List[Violation] = []
+        now = self.cluster.sim.now
+        for address in sorted(self.cluster.managers):
+            manager = self.cluster.managers[address]
+            if not manager.host.node.up:
+                continue
+            for txn in manager.journal.open_txns():
+                if txn.expires and now <= txn.expires:
+                    continue  # lease still live: genuinely in flight
+                violations.append(Violation(
+                    "leaked-journal-txn",
+                    {"host": address, "txn": txn.txn_id, "pid": txn.pid,
+                     "state": txn.state.name,
+                     "rollback_pending": txn.rollback_pending},
+                ))
+        return violations
+
+    def _check_stream_refs(self) -> List[Violation]:
+        """Server-side migrated-stream references must be backed by an
+        actual open stream on the referenced (up) client — anything else
+        is a refcount leaked by a half-done stream hand-off."""
+        violations: List[Violation] = []
+        hosts = {host.address: host for host in self.cluster.hosts}
+        for server_host in self.cluster.server_hosts:
+            if not server_host.node.up:
+                continue
+            for path in sorted(server_host.server.files):
+                entry = server_host.server.files[path]
+                for stream_id in sorted(entry.stream_refs):
+                    for client, count in sorted(
+                        entry.stream_refs[stream_id].items()
+                    ):
+                        if count <= 0:
+                            continue
+                        host = hosts.get(client)
+                        if host is None or not host.node.up:
+                            continue  # crashed client: server cleanup pends
+                        if stream_id not in host.fs.open_streams:
+                            violations.append(Violation(
+                                "leaked-stream-ref",
+                                {"server": server_host.name, "path": path,
+                                 "stream": stream_id, "client": client,
+                                 "count": count},
+                            ))
+        return violations
+
+    # ------------------------------------------------------------------
+    # Instantaneous audit (run at a fault boundary, not at quiesce)
+    # ------------------------------------------------------------------
+    def audit_in_flight(
+        self, expected_pids: Optional[Iterable[int]] = None
+    ) -> Tuple[List[Violation], int]:
+        """Single-live-copy audit, valid *at any instant*.
+
+        A copy is **runnable** when its kernel's process table holds it
+        ``RUNNING`` and the PCB agrees it executes there — during a
+        transfer that is the frozen source copy (activation happens only
+        inside ``mig.commit``), afterwards the target copy.  Returns the
+        violations plus the number of **inactive** copies: installed-
+        but-unactivated target copies under unexpired leases, which are
+        legal now but must drain to zero by quiesce.
+
+        A pid with *no* runnable copy is excused only when it exited
+        (zombie/dead entry or a recorded exit status somewhere), died in
+        a recorded host crash, lost its home kernel, or survives as an
+        inactive copy awaiting commit resolution.
+        """
+        now = self.cluster.sim.now
+        violations: List[Violation] = []
+        runnable_at: Dict[int, List[int]] = {}
+        exited: Set[int] = set()
+        for address in sorted(self.cluster.kernels):
+            kernel = self.cluster.kernels[address]
+            for pid, pcb in sorted(kernel.procs.items()):
+                if (pcb.state == ProcState.RUNNING
+                        and pcb.current == address):
+                    runnable_at.setdefault(pid, []).append(address)
+                if (pcb.state in (ProcState.ZOMBIE, ProcState.DEAD)
+                        or pcb.exit_status is not None):
+                    exited.add(pid)
+        inactive_pids: Dict[int, List[int]] = {}
+        inactive = 0
+        for address in sorted(self.cluster.managers):
+            manager = self.cluster.managers[address]
+            if not manager.host.node.up:
+                continue
+            for (pid, _), lease in sorted(manager._tickets.items()):
+                if (lease.status == "installed"
+                        and lease.install is not None
+                        and now <= lease.expires):
+                    inactive += 1
+                    inactive_pids.setdefault(pid, []).append(address)
+        if expected_pids is None:
+            expected = set(runnable_at) | set(inactive_pids) | exited
+        else:
+            expected = set(expected_pids)
+        crashed = self._crashed_hosts()
+        lost = self.injector.lost_pids() if self.injector else set()
+        for pid in sorted(expected):
+            copies = runnable_at.get(pid, [])
+            if len(copies) > 1:
+                violations.append(Violation(
+                    "duplicated-runnable", {"pid": pid, "hosts": copies}
+                ))
+            elif not copies:
+                if (pid in exited or pid in lost or pid in inactive_pids
+                        or home_of_pid(pid) in crashed):
+                    continue
+                violations.append(Violation(
+                    "no-runnable-copy", {"pid": pid}
+                ))
+        return violations, inactive

@@ -25,7 +25,7 @@ from .pipes import PIPE_BUFFER_BYTES, PipeService
 from .prefix import PrefixTable
 from .protocol import OpenMode
 from .server import FileServer, ServerFile
-from .streams import Stream
+from .streams import Stream, reset_stream_ids
 
 __all__ = [
     "AccessError",
@@ -48,4 +48,5 @@ __all__ = [
     "PrefixTable",
     "ServerFile",
     "Stream",
+    "reset_stream_ids",
 ]

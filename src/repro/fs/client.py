@@ -215,6 +215,7 @@ class FsClient:
                 mode=stream.mode,
                 new_size=stream.size if stream.writable else None,
                 dirty_bytes=dirty,
+                stream_id=stream.stream_id,
             ),
         )
 
@@ -492,7 +493,9 @@ class FsClient:
                     stream.server, "pipe.addref",
                     (stream.pipe_id, stream.pipe_end),
                 )
-            if stream.refcount > 1:
+            addref_sent = stream.is_pipe and stream.refcount > 1
+            kept_sharers = stream.refcount > 1
+            if kept_sharers:
                 stream.refcount -= 1   # the migrating reference departs
             else:
                 self.open_streams.pop(stream.stream_id, None)
@@ -501,6 +504,11 @@ class FsClient:
                 "shared": False,
                 "cacheable": False,
                 "size": 0,
+                "undo": {
+                    "kind": "pipe" if stream.is_pipe else "pdev",
+                    "addref_sent": addref_sent,
+                    "refcount_decremented": kept_sharers,
+                },
             }
         flushed = yield from self._flush_path(stream.path, stream.handle_id)
         info = yield from self.rpc.call(
@@ -542,7 +550,90 @@ class FsClient:
             "shared": info["shared"],
             "cacheable": copy.cacheable,
             "size": copy.size,
+            "undo": {
+                "kind": "file",
+                "refcount_decremented": info["shared"],
+            },
         }
+
+    def undo_export(
+        self, stream: Stream, state: Dict[str, Any], to_client: int
+    ) -> Generator[Effect, None, None]:
+        """Compensating action for :meth:`export_stream`: pull the
+        reference back from ``to_client`` and restore local bookkeeping.
+
+        The server RPC (the only part that can fail) runs first, so an
+        aborting migration may safely re-invoke this under its
+        retry/backoff loop — local state is only touched once the
+        server agrees the reference is home again.
+        """
+        undo = state.get("undo", {})
+        yield from self.cpu.consume(self.params.stream_transfer_cpu)
+        if undo.get("kind") == "file":
+            info = yield from self.rpc.call(
+                stream.server,
+                "fs.stream_move",
+                StreamMove(
+                    handle_id=stream.handle_id,
+                    stream_id=stream.stream_id,
+                    from_client=to_client,
+                    to_client=self.node.address,
+                    offset=stream.offset,
+                    mode=stream.mode,
+                    source_keeps=False,
+                ),
+                size=self.params.stream_transfer_bytes,
+            )
+            stream.shared = info["shared"]
+        elif undo.get("kind") == "pipe" and undo.get("addref_sent"):
+            # The extra endpoint reference granted for the move is
+            # surplus again now that only this host holds the end.
+            yield from self.rpc.call(
+                stream.server, "pipe.close", (stream.pipe_id, stream.pipe_end)
+            )
+        if undo.get("refcount_decremented"):
+            stream.refcount += 1
+        self.reregister_stream(stream)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now,
+                f"fsc:{self.node.name}",
+                "stream-export-undone",
+                path=stream.path,
+            )
+
+    def reregister_stream(self, stream: Stream) -> None:
+        """Restore the client-side records for a stream whose export was
+        rolled back (idempotent)."""
+        if not (stream.is_pipe or stream.is_pdev):
+            self._servers_by_handle[stream.handle_id] = stream.server
+            self._path_handles[stream.path] = stream.handle_id
+        self.open_streams[stream.stream_id] = stream
+
+    def forget_stream(self, stream: Stream) -> None:
+        """Drop an imported stream copy without touching the server —
+        used when the *source* has already pulled the reference back."""
+        self.open_streams.pop(stream.stream_id, None)
+
+    def release_imported(
+        self, stream: Stream, close_refs: bool
+    ) -> Generator[Effect, None, None]:
+        """Dispose of a stream copy installed by :meth:`import_stream`
+        for a migration that never committed.
+
+        ``close_refs=True`` means the source is gone for good (crashed
+        before it could pull references back): close the copy so the
+        server's counts drain.  ``close_refs=False`` means the source
+        is undoing its own export — only local records go.
+        """
+        if not close_refs:
+            yield from self.cpu.consume(self.params.kernel_call_cpu)
+            self.forget_stream(stream)
+            return
+        if stream.closed:
+            return
+        stream.refcount = 1
+        yield from self.close(stream)
 
     def import_stream(self, state: Dict[str, Any]) -> Generator[Effect, None, Stream]:
         """Target side: install a stream exported by another client."""

@@ -81,6 +81,9 @@ class CloseRequest:
     new_size: Optional[int] = None
     #: Dirty bytes the client still holds under delayed write-back.
     dirty_bytes: int = 0
+    #: Stream identity, so the server can drop any migrated-stream
+    #: reference it tracked for this client (-1 = not stream-scoped).
+    stream_id: int = -1
 
 
 @dataclass

@@ -292,6 +292,16 @@ class FileServer:
                 entry.last_writer = client
         if OpenMode.readable(request.mode) or not OpenMode.writable(request.mode):
             _bump(entry.open_readers, client, -1)
+        if request.stream_id >= 0:
+            # The last local reference to a migrated stream is gone:
+            # drop whatever reference count the moves accumulated for
+            # this client (a pop, not a decrement, so a retried reverse
+            # move that double-counted self-heals here).
+            refs = entry.stream_refs.get(request.stream_id)
+            if refs is not None:
+                refs.pop(client, None)
+                if not refs:
+                    entry.stream_refs.pop(request.stream_id, None)
         # When write sharing ends, future opens may cache again.
         if not entry.open_writers:
             entry.cacheable = True

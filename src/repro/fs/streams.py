@@ -16,9 +16,18 @@ from typing import Optional
 
 from .protocol import OpenMode
 
-__all__ = ["Stream"]
+__all__ = ["Stream", "reset_stream_ids"]
 
 _stream_ids = itertools.count(1)
+
+
+def reset_stream_ids() -> None:
+    """Restart stream-id allocation (stream ids are only meaningful
+    within one cluster).  ``SpriteCluster`` calls this at construction
+    so a fixed seed yields identical ids — and therefore byte-identical
+    traces — no matter how many clusters the process built before."""
+    global _stream_ids
+    _stream_ids = itertools.count(1)
 
 
 @dataclass

@@ -17,7 +17,7 @@ from .kernel import (
     home_of_pid,
 )
 from .loadavg import LoadAverage
-from .pcb import ExitStatus, MigrationTicket, Pcb, ProcState, Vm
+from .pcb import ExitStatus, MigrationTicket, Pcb, PendingInstall, ProcState, Vm
 from .process import ExitProcess, Program, UserContext
 from .syscalls import CALL_TABLE, CallClass, call_class, forward_all_table
 
@@ -33,6 +33,7 @@ __all__ = [
     "NoSuchProcess",
     "PID_STRIDE",
     "Pcb",
+    "PendingInstall",
     "ProcState",
     "ProcessKilled",
     "Program",

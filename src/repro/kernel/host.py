@@ -151,6 +151,7 @@ class Host:
         self.up_since = self.sim.now
         self.last_input = float("-inf")
         self.user_present = False
+        self.kernel.on_reboot()
 
     # ------------------------------------------------------------------
     # Process creation

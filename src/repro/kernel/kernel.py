@@ -165,6 +165,14 @@ class SpriteKernel:
             shadow.pgrp = pcb.pgrp
             shadow.cpu_time = pcb.cpu_time
             shadow.task = pcb.task
+            existing = self.procs.get(pcb.pid)
+            if existing is not None and existing.state in (
+                ProcState.ZOMBIE, ProcState.DEAD,
+            ):
+                # The exit already raced past us (e.g. journal recovery
+                # re-detaching after the remote copy finished): the
+                # zombie entry is the newer truth — keep it.
+                return
             self.procs[pcb.pid] = shadow
         else:
             self.procs.pop(pcb.pid, None)
@@ -229,7 +237,19 @@ class SpriteKernel:
                     pcb.task.abort(("host-crashed", self.address))
                 lost.append(pcb)
         self.procs.clear()
+        if self.migration is not None:
+            self.migration.on_crash()
         return lost
+
+    def on_reboot(self) -> None:
+        """Host power restored: replay persistent state.
+
+        The only durable kernel-adjacent state in this model is the
+        migration journal; hand it to the migration manager so in-flight
+        transactions from before the crash are resolved.
+        """
+        if self.migration is not None:
+            self.migration.on_reboot()
 
     def on_peer_crashed(self, address: int) -> Dict[str, int]:
         """React to another host's crash (driven after detection delay).
@@ -264,6 +284,8 @@ class SpriteKernel:
                 )
                 self._record_zombie(pcb, status)
                 reaped += 1
+        if self.migration is not None:
+            self.migration.peer_crashed(address)
         if (orphaned or reaped) and self.tracer.enabled:
             self.tracer.emit(
                 self.sim.now, f"kernel:{self.node.name}", "peer-crashed",

@@ -21,7 +21,10 @@ from typing import Any, Dict, List, Optional, Set
 from ..fs import BackingFile, Stream
 from ..sim import SimEvent
 
-__all__ = ["ProcState", "Vm", "Pcb", "MigrationTicket", "ExitStatus"]
+__all__ = [
+    "ProcState", "Vm", "Pcb", "MigrationTicket", "PendingInstall",
+    "ExitStatus",
+]
 
 
 class ProcState(enum.Enum):
@@ -83,15 +86,47 @@ class ExitStatus:
 
 @dataclass
 class MigrationTicket:
-    """Handshake between a kernel migrating a process and the process task."""
+    """Handshake between a kernel migrating a process and the process task.
+
+    Since the transactional protocol, the ticket also carries the
+    *target-issued lease*: at negotiation the target hands out a
+    ``ticket_id`` with an expiry; the inactive copy it installs is held
+    under that lease, and reaped if no ``mig.commit`` arrives before
+    ``expires``.
+    """
 
     target: int                     # LAN address of the destination host
     reason: str                     # "exec" | "manual" | "eviction" | ...
     parked: SimEvent = None         # type: ignore[assignment] - process reached freeze point
     resume: SimEvent = None         # type: ignore[assignment] - transfer done, continue
+    #: Target-issued lease: id + absolute expiry (0 until negotiated).
+    ticket_id: int = 0
+    expires: float = 0.0
     #: Filled by the migration mechanism for metrics.
     freeze_started: float = 0.0
     freeze_ended: float = 0.0
+
+
+@dataclass
+class PendingInstall:
+    """An *inactive* migrated-in process held by a target kernel.
+
+    Everything ``mig.install`` shipped sits here — outside the process
+    table, never runnable — until the source's ``mig.commit`` activates
+    it.  The travelling :class:`Pcb` is deliberately left untouched: if
+    the transaction aborts, the source resumes the process with no
+    target-side mutation to undo.
+    """
+
+    pid: int
+    ticket_id: int
+    pcb: "Pcb" = None               # type: ignore[assignment]
+    #: fd -> stream copies already imported into the target's FsClient.
+    streams: Dict[int, Stream] = field(default_factory=dict)
+    expires: float = 0.0
+    #: Guest memory reserved under the lease (reclaimed on reap/abort).
+    reserved_bytes: int = 0
+    cpu_time: float = 0.0
 
 
 @dataclass

@@ -2,18 +2,35 @@
 
 :mod:`.mechanism` implements the transfer protocol (negotiation with
 version numbers, safe-point freezing, per-module state packaging, open-
-stream hand-off, home-shadow maintenance).  :mod:`.vm` provides the four
-virtual-memory transfer policies of §4.2.1.  :mod:`.eviction` reclaims
-workstations for returning users.  :mod:`.stats` aggregates telemetry.
+stream hand-off, home-shadow maintenance) as a crash-consistent
+transaction; :mod:`.txn` holds the journal and state machine behind its
+single commit point.  :mod:`.vm` provides the four virtual-memory
+transfer policies of §4.2.1.  :mod:`.eviction` reclaims workstations
+for returning users.  :mod:`.stats` aggregates telemetry.
 """
 
 from .eviction import EvictionDaemon, EvictionEvent
-from .mechanism import MigrationManager, MigrationRecord, MigrationRefused
+from .mechanism import (
+    MigrationAbandoned,
+    MigrationManager,
+    MigrationRecord,
+    MigrationRefused,
+    TicketLease,
+)
 from .stats import (
     collect_records,
     records_by_reason,
     refusal_reasons,
+    rollback_stats,
     summarize_records,
+)
+from .txn import (
+    TXN_STEPS,
+    JournalEntry,
+    MigrationJournal,
+    MigrationTxn,
+    TxnState,
+    UndoEntry,
 )
 from .vm import (
     POLICIES,
@@ -32,16 +49,25 @@ __all__ = [
     "EvictionEvent",
     "FlushToServer",
     "FullCopy",
+    "JournalEntry",
+    "MigrationAbandoned",
+    "MigrationJournal",
     "MigrationManager",
     "MigrationRecord",
     "MigrationRefused",
+    "MigrationTxn",
     "POLICIES",
     "PreCopy",
+    "TXN_STEPS",
+    "TicketLease",
+    "TxnState",
+    "UndoEntry",
     "VmOutcome",
     "VmPolicy",
     "collect_records",
     "make_policy",
     "records_by_reason",
     "refusal_reasons",
+    "rollback_stats",
     "summarize_records",
 ]

@@ -1,22 +1,30 @@
-"""The process-migration mechanism (thesis ch. 4).
+"""The process-migration mechanism (thesis ch. 4), run as a transaction.
 
 One :class:`MigrationManager` per host.  A migration runs the protocol
-the thesis describes, module by module:
+the thesis describes, module by module, but structured as an explicit
+two-phase transaction (:mod:`repro.migration.txn`) with a *single
+commit point* and an undo log on both ends:
 
 1. **Negotiate** with the target kernel: migration *version numbers*
-   must match (§4.5 — mismatched kernels refuse, the fix for migration's
-   fragility), and the target's acceptance policy must agree.
+   must match (§4.5) and the target's acceptance policy must agree.
+   Acceptance issues a leased :class:`~repro.kernel.MigrationTicket` —
+   the target reserves guest memory under it and reaps everything if no
+   commit arrives before the lease expires.
 2. **Freeze** the process at a safe point (between compute quanta or at
    kernel-call boundaries; in-flight kernel calls drain first).
 3. **Transfer virtual memory** per the configured policy
-   (:mod:`repro.migration.vm` — Sprite's default flushes dirty pages to
-   the backing file on the server).
+   (:mod:`repro.migration.vm`).
 4. **Package and ship kernel state**: the machine-independent PCB,
-   signal state, and exec arguments, then each open stream via the file
-   system's export/import protocol (flush + I/O-server hand-off, ch. 5).
-5. **Install** on the target, update the home's shadow PCB, and resume.
-   The source keeps *no* residual state (unless copy-on-reference was
-   chosen, which is exactly its documented drawback).
+   then each open stream via the file system's export/import protocol
+   (each export preceded by an intent entry in the undo log).
+   ``mig.install`` leaves the copy **inactive** at the target, held in
+   a :class:`~repro.kernel.PendingInstall` outside the process table.
+5. **Commit**: the source's ``mig.commit`` RPC is the commit point.
+   Before it the source's copy is the process (any failure aborts by
+   replaying the undo log and the process resumes at the source,
+   unharmed); after it the target's copy is the process (the source
+   detaches, updates the home's shadow, and closes the lease — duties
+   that reboot-time journal recovery re-drives if the source crashes).
 
 Exec-time migration (:meth:`MigrationManager.migrate_for_exec`) skips
 step 3 entirely — the address space is about to be replaced — which is
@@ -26,20 +34,43 @@ why Sprite migrates at exec whenever it can.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Union
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple, Union
 
 from ..config import ClusterParams
-from ..kernel import Host, MigrationTicket, Pcb, ProcState, SpriteKernel
-from ..net import Reply, RpcError
+from ..fs.errors import FsError
+from ..kernel import (
+    ExitStatus,
+    Host,
+    MigrationTicket,
+    Pcb,
+    PendingInstall,
+    ProcState,
+    SpriteKernel,
+    signals,
+)
+from ..net import NetworkPartitionedError, Reply, RpcError, RpcTimeout
 from ..obs.spans import Span, SpanTracer
-from ..sim import Effect, SimEvent, Tracer
+from ..sim import Effect, SimEvent, Sleep, Tracer, first, spawn
+from .txn import MigrationJournal, MigrationTxn, TxnState
 from .vm import FlushToServer, VmOutcome, VmPolicy, make_policy
 
-__all__ = ["MigrationManager", "MigrationRecord", "MigrationRefused"]
+__all__ = [
+    "MigrationManager",
+    "MigrationRecord",
+    "MigrationRefused",
+    "MigrationAbandoned",
+    "TicketLease",
+]
 
 
 class MigrationRefused(RpcError):
-    """The target kernel declined the migration (version/policy)."""
+    """The target kernel declined the migration (version/policy), or the
+    transaction aborted — either way the process did not move."""
+
+
+class MigrationAbandoned(MigrationRefused):
+    """The *source* crashed mid-transaction: the driving task must stop
+    touching the transaction — reboot-time journal recovery owns it."""
 
 
 @dataclass
@@ -56,6 +87,9 @@ class MigrationRecord:
     ended: float = 0.0
     freeze_started: float = 0.0
     freeze_ended: float = 0.0
+    #: When the commit point was crossed (0 for migrations that aborted
+    #: before reaching it).
+    commit_started: float = 0.0
     vm: Optional[VmOutcome] = None
     streams_moved: int = 0
     stream_bytes: int = 0
@@ -70,6 +104,32 @@ class MigrationRecord:
     @property
     def freeze_time(self) -> float:
         return self.freeze_ended - self.freeze_started
+
+    @property
+    def commit_time(self) -> float:
+        """Frozen time spent past the commit point (post-commit duties)."""
+        if not self.commit_started:
+            return 0.0
+        return self.freeze_ended - self.commit_started
+
+
+@dataclass
+class TicketLease:
+    """Target-side record of one issued migration ticket.
+
+    Lives in ``MigrationManager._tickets`` from ``mig.negotiate`` until
+    ``mig.close`` / ``mig.release`` / lease expiry.  ``install`` holds
+    the inactive copy between ``mig.install`` and the commit point.
+    """
+
+    pid: int
+    ticket_id: int
+    expires: float
+    reserved_bytes: int = 0
+    #: issued -> installing -> installed -> activated -> closed
+    #: (or released / reaped on the abort paths).
+    status: str = "issued"
+    install: Optional[PendingInstall] = None
 
 
 #: Signature of a target-side acceptance policy (load sharing installs
@@ -110,10 +170,37 @@ class MigrationManager:
         self._pending_accepts: List[float] = []
         #: How long an accepted-but-uninstalled reservation is honoured.
         self.pending_accept_ttl = 30.0
+        #: Write-ahead journal (persistent: survives host.crash).
+        self.journal = MigrationJournal(
+            host.name, enabled=host.params.migration_txn_journal
+        )
+        self.journal.bind_clock(lambda: self.host.sim.now)
+        #: Target-side lease registry: (pid, ticket_id) -> lease.
+        self._tickets: Dict[Tuple[int, int], TicketLease] = {}
+        self._ticket_seq = 0
+        #: Guest memory currently reserved under unexpired leases.
+        self.reserved_bytes = 0
+        #: Aborts whose undo log could not be fully replayed inline
+        #: (a background repair task owns the remainder).
+        self.rollback_incomplete = 0
+        #: Evictions that failed (their refusal is swallowed so one bad
+        #: victim cannot strand the others on a reclaimed host).
+        self.eviction_failures = 0
+        #: Bumped by ``on_crash``: driving tasks notice mid-protocol
+        #: that their host died under them and abandon the transaction.
+        self._crash_epoch = 0
+        #: Per-peer crash epochs (bumped when the cluster *detects* a
+        #: peer's crash) — the escape hatch for retry-forever loops.
+        self._peer_epochs: Dict[int, int] = {}
         self._managers = managers
         managers[host.address] = self
         self.host.rpc.register("mig.negotiate", self._rpc_negotiate)
         self.host.rpc.register("mig.install", self._rpc_install)
+        self.host.rpc.register("mig.commit", self._rpc_commit)
+        self.host.rpc.register("mig.release", self._rpc_release)
+        self.host.rpc.register("mig.renew", self._rpc_renew)
+        self.host.rpc.register("mig.resolve", self._rpc_resolve)
+        self.host.rpc.register("mig.close", self._rpc_close)
         self.host.rpc.register("mig.update_location", self._rpc_update_location)
         self.host.rpc.register("mig.cor_fetch", self._rpc_cor_fetch)
 
@@ -150,6 +237,63 @@ class MigrationManager:
         )
 
     # ------------------------------------------------------------------
+    # Crash / reboot lifecycle (wired from SpriteKernel)
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Volatile migration state dies with the host.
+
+        The journal (modeled as written through the file system)
+        survives; the lease registry, reservations, and pending accepts
+        do not — exactly why an unexpired lease at a crashed target is
+        simply gone and the source must treat silence as abort-or-
+        resolve, never as success.
+        """
+        self._crash_epoch += 1
+        self._tickets.clear()
+        self._pending_accepts.clear()
+        self.reserved_bytes = 0
+
+    def on_reboot(self) -> None:
+        """Replay the journal: resolve every transaction left open."""
+        if not self.journal.enabled:
+            return
+        txns = self.journal.open_txns()
+        if not txns:
+            return
+        spawn(
+            self.sim,
+            self._recover_journal(txns, self._crash_epoch),
+            name=f"mig-recovery:{self.host.name}",
+            daemon=True,
+        )
+
+    def peer_crashed(self, address: int) -> None:
+        """The cluster detected ``address`` crashed (kernel callback)."""
+        self._peer_epochs[address] = self._peer_epochs.get(address, 0) + 1
+
+    def _abandon_if_crashed(
+        self, epoch: int, txn: Optional[MigrationTxn] = None
+    ) -> None:
+        """Raise if this host crashed since the transaction captured
+        ``epoch`` — the driving task must not touch the txn again."""
+        if self._crash_epoch != epoch or not self.host.node.up:
+            raise MigrationAbandoned(
+                f"host {self.host.name} crashed mid-migration"
+                + (f" (txn {txn.txn_id})" if txn is not None else "")
+            )
+
+    def _journal_step(
+        self, txn: MigrationTxn, epoch: int, name: str, **detail: Any
+    ) -> None:
+        """Journal a step, then notice if the crash-matrix hook (which
+        fires synchronously inside ``journal.log``) crashed this host."""
+        txn.step(name, **detail)
+        self._abandon_if_crashed(epoch, txn)
+
+    def _peer_epoch(self, address: int) -> int:
+        return self._peer_epochs.get(address, 0)
+
+    # ------------------------------------------------------------------
     # Public entry points
     # ------------------------------------------------------------------
     def migrate(
@@ -166,49 +310,76 @@ class MigrationManager:
         )
         record = self._new_record(pcb, target, reason)
         root = self._root_span(record)
-        # Negotiate and pre-copy while the process keeps running.
-        yield from self._negotiate(pcb, target, record, root)
-        negotiated_at = self.sim.now
-        self._phase(root, "mig.negotiate", record.started, negotiated_at)
-        pre_bytes = yield from self.policy.pre_freeze(self, pcb, target)
-        record.detail["pre_freeze_bytes"] = pre_bytes
-        precopied_at = self.sim.now
-        self._phase(root, "mig.vm_pre", negotiated_at, precopied_at,
-                    bytes=pre_bytes)
-        # Ask the process to park at its next safe point.
-        pcb.migration_ticket = ticket
-        if pcb.task is not None and pcb.interruptible:
-            pcb.task.interrupt(("migrate", target))
-        from ..sim import first
-
-        index, _value = yield first(ticket.parked.wait(), pcb.exit_event.wait())
-        if index == 1:
-            # The process exited before reaching a safe point.
-            pcb.migration_ticket = None
-            self._refuse(
-                record,
-                "process exited before freeze",
-                f"pid {pcb.pid} exited before it could be migrated",
-                root,
-            )
-        record.freeze_started = self.sim.now
-        self._phase(root, "mig.wait_safe_point", precopied_at,
-                    record.freeze_started)
+        txn = self.journal.begin(pcb, self.address, target, reason)
+        epoch = self._crash_epoch
         try:
-            yield from self._frozen_transfer(
-                pcb, target, record, skip_vm=False, root=root
-            )
-        finally:
-            # Whatever happened, the process must not stay frozen: on an
-            # abort it resumes right here on the source.
-            record.freeze_ended = self.sim.now
-            pcb.migration_ticket = None
-            ticket.resume.trigger()
-            self._phase(root, "mig.freeze", record.freeze_started,
-                        record.freeze_ended)
-        record.ended = self.sim.now
-        self._finish_record(record, root)
-        return record
+            # Negotiate and pre-copy while the process keeps running.
+            yield from self._negotiate(pcb, target, record, txn, root, epoch)
+            negotiated_at = self.sim.now
+            self._phase(root, "mig.negotiate", record.started, negotiated_at)
+            ticket.ticket_id = txn.ticket_id
+            ticket.expires = txn.expires
+            try:
+                pre_bytes = yield from self.policy.pre_freeze(self, pcb, target)
+            except (RpcError, FsError) as err:
+                self._abandon_if_crashed(epoch, txn)
+                yield from self._abort_txn(pcb, target, txn, epoch)
+                self._refuse(
+                    record,
+                    f"pre-copy failed: {err}",
+                    f"pre-copy to {target} failed for pid {pcb.pid}: {err}",
+                    root,
+                )
+            self._abandon_if_crashed(epoch, txn)
+            record.detail["pre_freeze_bytes"] = pre_bytes
+            precopied_at = self.sim.now
+            self._phase(root, "mig.vm_pre", negotiated_at, precopied_at,
+                        bytes=pre_bytes)
+            # Ask the process to park at its next safe point.
+            pcb.migration_ticket = ticket
+            if pcb.task is not None and pcb.interruptible:
+                pcb.task.interrupt(("migrate", target))
+            index, _value = yield first(ticket.parked.wait(), pcb.exit_event.wait())
+            self._abandon_if_crashed(epoch, txn)
+            if index == 1:
+                # The process exited before reaching a safe point.
+                pcb.migration_ticket = None
+                yield from self._abort_txn(pcb, target, txn, epoch)
+                self._refuse(
+                    record,
+                    "process exited before freeze",
+                    f"pid {pcb.pid} exited before it could be migrated",
+                    root,
+                )
+            record.freeze_started = self.sim.now
+            self._phase(root, "mig.wait_safe_point", precopied_at,
+                        record.freeze_started)
+            # A long pre-copy may have burned most of the lease: renew it
+            # now that the frozen transfer is about to start.
+            yield from self._renew_lease(txn, target, epoch)
+            txn.advance(TxnState.FROZEN)
+            self._journal_step(txn, epoch, "frozen")
+            try:
+                yield from self._frozen_transfer(
+                    pcb, target, record, txn, skip_vm=False, root=root,
+                    epoch=epoch,
+                )
+                yield from self._commit_txn(pcb, target, record, txn, root, epoch)
+            finally:
+                # Whatever happened, the process must not stay frozen: on
+                # an abort it resumes right here on the source.
+                record.freeze_ended = self.sim.now
+                pcb.migration_ticket = None
+                if not ticket.resume.fired:
+                    ticket.resume.trigger()
+                self._emit_freeze_phases(root, record)
+            record.ended = self.sim.now
+            self._finish_record(record, root)
+            return record
+        except MigrationAbandoned:
+            if root is not None:
+                root.annotate(abandoned=True).finish(self.sim.now)
+            raise
 
     def migrate_self(
         self, pcb: Pcb, target: int
@@ -219,19 +390,31 @@ class MigrationManager:
         self._check_eligible(pcb, target)
         record = self._new_record(pcb, target, "self")
         root = self._root_span(record)
-        yield from self._negotiate(pcb, target, record, root)
-        record.freeze_started = self.sim.now
-        self._phase(root, "mig.negotiate", record.started,
-                    record.freeze_started)
-        yield from self._frozen_transfer(
-            pcb, target, record, skip_vm=False, root=root
-        )
-        record.freeze_ended = self.sim.now
-        self._phase(root, "mig.freeze", record.freeze_started,
-                    record.freeze_ended)
-        record.ended = self.sim.now
-        self._finish_record(record, root)
-        return record
+        txn = self.journal.begin(pcb, self.address, target, "self")
+        epoch = self._crash_epoch
+        try:
+            yield from self._negotiate(pcb, target, record, txn, root, epoch)
+            record.freeze_started = self.sim.now
+            self._phase(root, "mig.negotiate", record.started,
+                        record.freeze_started)
+            txn.advance(TxnState.FROZEN)
+            self._journal_step(txn, epoch, "frozen")
+            try:
+                yield from self._frozen_transfer(
+                    pcb, target, record, txn, skip_vm=False, root=root,
+                    epoch=epoch,
+                )
+                yield from self._commit_txn(pcb, target, record, txn, root, epoch)
+            finally:
+                record.freeze_ended = self.sim.now
+                self._emit_freeze_phases(root, record)
+            record.ended = self.sim.now
+            self._finish_record(record, root)
+            return record
+        except MigrationAbandoned:
+            if root is not None:
+                root.annotate(abandoned=True).finish(self.sim.now)
+            raise
 
     def migrate_for_exec(
         self, pcb: Pcb, target: int, arg_bytes: int = 2048
@@ -241,38 +424,74 @@ class MigrationManager:
         record = self._new_record(pcb, target, "exec")
         record.detail["arg_bytes"] = arg_bytes
         root = self._root_span(record)
-        yield from self._negotiate(pcb, target, record, root)
-        record.freeze_started = self.sim.now
-        self._phase(root, "mig.negotiate", record.started,
-                    record.freeze_started)
-        # Discard the old address space outright (exec replaces it).
-        if pcb.vm.backing is not None and pcb.vm.backing.handle_id >= 0:
-            yield from pcb.vm.backing.remove()
-            pcb.vm.backing = None
-        pcb.vm.size = 0
-        pcb.vm.evict_resident()
-        yield from self._frozen_transfer(
-            pcb, target, record, skip_vm=True, extra_bytes=arg_bytes,
-            root=root,
-        )
-        record.freeze_ended = self.sim.now
-        self._phase(root, "mig.freeze", record.freeze_started,
-                    record.freeze_ended)
-        record.ended = self.sim.now
-        self._finish_record(record, root)
-        return record
+        txn = self.journal.begin(pcb, self.address, target, "exec")
+        epoch = self._crash_epoch
+        try:
+            yield from self._negotiate(pcb, target, record, txn, root, epoch)
+            record.freeze_started = self.sim.now
+            self._phase(root, "mig.negotiate", record.started,
+                        record.freeze_started)
+            txn.advance(TxnState.FROZEN)
+            self._journal_step(txn, epoch, "frozen")
+            # Discard the old address space outright (exec replaces it).
+            if pcb.vm.backing is not None and pcb.vm.backing.handle_id >= 0:
+                yield from pcb.vm.backing.remove()
+                pcb.vm.backing = None
+            pcb.vm.size = 0
+            pcb.vm.evict_resident()
+            self._abandon_if_crashed(epoch, txn)
+            try:
+                yield from self._frozen_transfer(
+                    pcb, target, record, txn, skip_vm=True,
+                    extra_bytes=arg_bytes, root=root, epoch=epoch,
+                )
+                yield from self._commit_txn(pcb, target, record, txn, root, epoch)
+            finally:
+                record.freeze_ended = self.sim.now
+                self._emit_freeze_phases(root, record)
+            record.ended = self.sim.now
+            self._finish_record(record, root)
+            return record
+        except MigrationAbandoned:
+            if root is not None:
+                root.annotate(abandoned=True).finish(self.sim.now)
+            raise
 
     def evict_all_foreign(self, reason: str = "eviction") -> Generator[Effect, None, List[MigrationRecord]]:
-        """Send every foreign process home (user reclaimed the host)."""
+        """Send every foreign process home (user reclaimed the host).
+
+        Each eviction is its own transaction; one refused victim (home
+        down, transfer aborted) must not strand the remaining guests,
+        so refusals are counted and skipped rather than propagated.
+        """
         victims = self.kernel.foreign_pcbs()
         records = []
+        failures: List[str] = []
         for pcb in victims:
-            record = yield from self.migrate(pcb, pcb.home, reason=reason)
+            try:
+                record = yield from self.migrate(pcb, pcb.home, reason=reason)
+            except MigrationAbandoned:
+                raise
+            except MigrationRefused as err:
+                self.eviction_failures += 1
+                failures.append(f"pid {pcb.pid}: {err}")
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.sim.now, f"mig:{self.host.name}",
+                        "eviction-failed", pid=pcb.pid, why=str(err),
+                    )
+                continue
             records.append(record)
+        if failures:
+            # Surface the failure only after every victim had its try,
+            # so the eviction daemon counts it and retries next period.
+            raise MigrationRefused(
+                f"{len(failures)} eviction(s) failed: " + "; ".join(failures)
+            )
         return records
 
     # ------------------------------------------------------------------
-    # Protocol steps
+    # Protocol steps (source side)
     # ------------------------------------------------------------------
     def _check_eligible(self, pcb: Pcb, target: int) -> None:
         if pcb.vm.shared_writable:
@@ -330,6 +549,24 @@ class MigrationManager:
             self.spans.record(name, root.source, start, end, parent=root,
                               **attrs)
 
+    def _emit_freeze_phases(self, root: Optional[Span], record: MigrationRecord) -> None:
+        """Split the frozen interval at the commit point.
+
+        ``mig.freeze`` covers park -> commit point, ``mig.commit`` the
+        post-commit duties (detach, home update, lease close); aborts
+        never cross the commit point, so their whole frozen interval is
+        ``mig.freeze``.  Either way the phases stay contiguous and the
+        partition of ``total_time`` is preserved.
+        """
+        if record.commit_started:
+            self._phase(root, "mig.freeze", record.freeze_started,
+                        record.commit_started)
+            self._phase(root, "mig.commit", record.commit_started,
+                        record.freeze_ended)
+        else:
+            self._phase(root, "mig.freeze", record.freeze_started,
+                        record.freeze_ended)
+
     def _refuse(
         self,
         record: MigrationRecord,
@@ -353,7 +590,9 @@ class MigrationManager:
         pcb: Pcb,
         target: int,
         record: MigrationRecord,
+        txn: MigrationTxn,
         root: Optional[Span] = None,
+        epoch: int = 0,
     ) -> Generator[Effect, None, None]:
         try:
             answer = yield from self.host.rpc.call(
@@ -366,73 +605,124 @@ class MigrationManager:
                     "uid": pcb.uid,
                     "home": pcb.home,
                     "reason": record.reason,
+                    "vm_bytes": pcb.vm.size,
                 },
             )
         except RpcError as err:
             # Unreachable target: abort cleanly, process stays put.
             answer = {"accept": False, "why": f"target unreachable: {err}"}
+        self._abandon_if_crashed(epoch, txn)
         if not answer.get("accept"):
             why = answer.get("why", "unspecified")
+            txn.finish()
             self._refuse(
                 record,
                 why,
                 f"host {target} refused pid {pcb.pid}: {answer.get('why')}",
                 root,
             )
+        txn.ticket_id = int(answer.get("ticket", 0))
+        txn.expires = float(answer.get("expires", 0.0))
+        txn.push_undo("ticket", ticket=txn.ticket_id)
+        self._journal_step(txn, epoch, "negotiated", ticket=txn.ticket_id)
 
     def _frozen_transfer(
         self,
         pcb: Pcb,
         target: int,
         record: MigrationRecord,
+        txn: MigrationTxn,
         skip_vm: bool,
         extra_bytes: int = 0,
         root: Optional[Span] = None,
+        epoch: int = 0,
     ) -> Generator[Effect, None, None]:
         params = self.params
         step_started = self.sim.now
         # -- virtual memory -------------------------------------------------
         if not skip_vm:
-            record.vm = yield from self.policy.during_freeze(self, pcb, target)
+            try:
+                record.vm = yield from self.policy.during_freeze(self, pcb, target)
+            except (RpcError, FsError) as err:
+                self._abandon_if_crashed(epoch, txn)
+                yield from self._abort_txn(pcb, target, txn, epoch)
+                self._refuse(
+                    record,
+                    f"vm transfer failed: {err}",
+                    f"VM transfer to {target} failed for pid {pcb.pid}: {err}",
+                    root,
+                )
+            self._abandon_if_crashed(epoch, txn)
             if root is not None:
                 step_started = self._step(
                     root, "mig.vm_transfer", step_started,
                     bytes=record.vm.bytes_total, policy=record.policy,
                 )
+        self._journal_step(txn, epoch, "vm_sent")
         # -- kernel state packaging (per-module encapsulation, §4.5) ---------
         yield from self.host.cpu.consume(params.migration_state_cpu)
+        self._abandon_if_crashed(epoch, txn)
         if root is not None:
             step_started = self._step(root, "mig.state_pack", step_started)
+        self._journal_step(txn, epoch, "state_packed")
         # -- open streams ---------------------------------------------------
+        # Each export is preceded by an *intent* undo entry, so a crash
+        # or failure mid-loop can roll back exactly the exports that may
+        # have touched the server — including the one that failed.
         stream_states = []
-        for fd in sorted(pcb.streams):
-            stream = pcb.streams[fd]
-            state = yield from self.host.fs.export_stream(stream, target)
-            stream_states.append((fd, state))
+        try:
+            for fd in sorted(pcb.streams):
+                stream = pcb.streams[fd]
+                entry = txn.push_undo("stream", fd=fd, stream=stream, state=None)
+                state = yield from self.host.fs.export_stream(stream, target)
+                entry.detail["state"] = state
+                stream_states.append((fd, state))
+        except (RpcError, FsError) as err:
+            self._abandon_if_crashed(epoch, txn)
+            yield from self._abort_txn(pcb, target, txn, epoch)
+            self._refuse(
+                record,
+                f"stream export failed: {err}",
+                f"stream export to {target} failed for pid {pcb.pid}: {err}",
+                root,
+            )
+        self._abandon_if_crashed(epoch, txn)
         record.streams_moved = len(stream_states)
         record.stream_bytes = len(stream_states) * params.stream_transfer_bytes
         record.state_bytes = params.migration_state_bytes + extra_bytes
+        self._journal_step(txn, epoch, "streams_exported",
+                           count=record.streams_moved)
         if root is not None:
             step_started = self._step(
                 root, "mig.streams", step_started,
                 count=record.streams_moved,
             )
-        # -- ship the state and install at the target -------------------------
+        # -- ship the state; the target installs it *inactive* ---------------
+        if pcb.task is not None and pcb.task.done:
+            yield from self._abort_txn(pcb, target, txn, epoch)
+            self._refuse(
+                record,
+                "process died during transfer",
+                f"pid {pcb.pid} died while its state was being packaged",
+                root,
+            )
         payload = {
             "pcb": pcb,
+            "pid": pcb.pid,
+            "ticket": txn.ticket_id,
             "streams": stream_states,
             "cpu_time": pcb.cpu_time,
         }
         wire_bytes = record.state_bytes + record.stream_bytes
         try:
-            yield from self.host.rpc.call(
+            reply = yield from self.host.rpc.call(
                 target, "mig.install", payload, size=wire_bytes
             )
         except RpcError as err:
-            # The target died after accepting (before Sprite's commit
-            # point): abort — pull the stream references back and leave
-            # the process running here, unharmed.
-            yield from self._rollback_streams(pcb, target, stream_states)
+            # The target died before the commit point: abort — pull the
+            # stream references back and leave the process running here.
+            self._abandon_if_crashed(epoch, txn)
+            yield from self._abort_txn(pcb, target, txn, epoch)
             self._refuse(
                 record,
                 f"install failed: {err}",
@@ -440,22 +730,84 @@ class MigrationManager:
                 f"{err}",
                 root,
             )
-        if root is not None:
-            step_started = self._step(
-                root, "mig.install", step_started, bytes=wire_bytes,
+        self._abandon_if_crashed(epoch, txn)
+        if not (reply or {}).get("installed"):
+            why = (reply or {}).get("why", "install refused")
+            yield from self._abort_txn(pcb, target, txn, epoch)
+            self._refuse(
+                record,
+                f"install refused: {why}",
+                f"target {target} refused to install pid {pcb.pid}: {why}",
+                root,
             )
-        # -- detach locally; tell the home where the process went -------------
+        txn.expires = max(txn.expires, float(reply.get("expires", 0.0)))
+        txn.advance(TxnState.SHIPPED)
+        self._journal_step(txn, epoch, "shipped")
+        if root is not None:
+            self._step(root, "mig.install", step_started, bytes=wire_bytes)
+
+    def _commit_txn(
+        self,
+        pcb: Pcb,
+        target: int,
+        record: MigrationRecord,
+        txn: MigrationTxn,
+        root: Optional[Span],
+        epoch: int,
+    ) -> Generator[Effect, None, None]:
+        """Cross the commit point, then run the post-commit duties."""
+        if pcb.task is not None and pcb.task.done and pcb.current != target:
+            yield from self._abort_txn(pcb, target, txn, epoch)
+            self._refuse(
+                record,
+                "process died before commit",
+                f"pid {pcb.pid} died before the commit point",
+                root,
+            )
+        record.commit_started = self.sim.now
+        self._journal_step(txn, epoch, "commit_sent")
+        outcome, why = yield from self._commit_rpc(pcb, target, txn, epoch)
+        if outcome == "refused":
+            yield from self._abort_txn(pcb, target, txn, epoch)
+            self._refuse(
+                record,
+                f"commit refused: {why}",
+                f"target {target} could not activate pid {pcb.pid}: {why}",
+                root,
+            )
+        if outcome == "lost":
+            # The commit landed and then the target died (already
+            # detected): the process is gone — record its death.
+            txn.advance(TxnState.COMMITTED)
+            record.detail["lost_after_commit"] = True
+            self.journal.committed += 1
+            yield from self._write_off(pcb, target, epoch)
+            txn.finish()
+            self._refuse(
+                record,
+                "target lost after commit",
+                f"target {target} crashed after pid {pcb.pid} committed",
+                root,
+            )
+        # -- committed: the target's copy is the process ----------------------
+        self._journal_step(txn, epoch, "committed")
+        txn.advance(TxnState.COMMITTED)
+        if root is not None:
+            self._step(root, "mig.commit_rpc", record.commit_started)
         source = self.address
         self.kernel.detach_pcb(pcb, target)
+        self._journal_step(txn, epoch, "detached")
         if pcb.home not in (source, target):
-            yield from self.host.rpc.call(
-                pcb.home,
-                "mig.update_location",
-                {"pid": pcb.pid, "current": target},
-            )
+            update_from = self.sim.now
+            yield from self._update_home(pcb, target, txn, epoch)
             if root is not None:
-                self._step(root, "mig.update_home", step_started,
+                self._step(root, "mig.update_home", update_from,
                            home=pcb.home)
+        self._journal_step(txn, epoch, "home_updated")
+        yield from self._close_lease(txn, target, epoch)
+        self._journal_step(txn, epoch, "closed")
+        self.journal.committed += 1
+        txn.finish()
         pcb.migrations += 1
         if self.tracer.enabled:
             self.tracer.emit(
@@ -468,6 +820,424 @@ class MigrationManager:
                 streams=record.streams_moved,
             )
 
+    def _activation_happened(self, pcb: Pcb, target: int) -> bool:
+        """Ground truth for an in-doubt commit.
+
+        Only ``mig.commit``'s activation block ever points a PCB at the
+        target, so this marker stands in for the state exchanged by
+        Sprite's host-recovery handshake when the reply was lost.
+        """
+        return pcb.current == target
+
+    def _commit_rpc(
+        self, pcb: Pcb, target: int, txn: MigrationTxn, epoch: int
+    ) -> Generator[Effect, None, Tuple[str, str]]:
+        """Drive ``mig.commit`` to a definite outcome.
+
+        Returns ``("committed", _)``, ``("refused", why)`` — nothing
+        activated, abort is safe — or ``("lost", why)`` — the target
+        activated and then crashed.  Silence (timeouts, partitions) is
+        resolved by retrying until the activation marker, the target's
+        detected-crash epoch, or the lease expiry settles the question.
+        """
+        peer_epoch = self._peer_epoch(target)
+        attempt = 0
+        while True:
+            self._abandon_if_crashed(epoch, txn)
+            if self._peer_epoch(target) != peer_epoch:
+                if self._activation_happened(pcb, target):
+                    return "lost", "target crashed after activating"
+                return "refused", "target crashed before activating"
+            if self._activation_happened(pcb, target):
+                return "committed", "activated"
+            if self.sim.now > txn.expires:
+                # The lease is gone: the target has reaped (or will
+                # refuse) — the commit can no longer take effect.
+                return "refused", "lease expired before commit landed"
+            try:
+                reply = yield from self.host.rpc.call(
+                    target, "mig.commit",
+                    {"pid": pcb.pid, "ticket": txn.ticket_id},
+                )
+            except (RpcTimeout, NetworkPartitionedError):
+                # In doubt: the request may have been delivered.  Loop —
+                # the ground-truth checks above settle it.
+                attempt += 1
+                yield Sleep(self.host.rpc.retry_backoff(min(attempt, 6)))
+                continue
+            if reply.get("activated"):
+                return "committed", "activated"
+            if reply.get("unknown") and self._activation_happened(pcb, target):
+                # Our earlier in-doubt attempt activated and the lease
+                # has since been closed/reaped; the commit stands.
+                return "committed", "activated"
+            return "refused", reply.get("why", "commit refused")
+
+    def _update_home(
+        self, pcb: Pcb, target: int, txn: MigrationTxn, epoch: int
+    ) -> Generator[Effect, None, None]:
+        """Point a third-party home's shadow at the target (must land:
+        retried until the home answers or is declared crashed)."""
+        home = pcb.home
+        home_epoch = self._peer_epoch(home)
+        attempt = 0
+        while True:
+            self._abandon_if_crashed(epoch, txn)
+            if self._peer_epoch(home) != home_epoch:
+                return  # home crashed: no shadow survives to update
+            try:
+                yield from self.host.rpc.call(
+                    home,
+                    "mig.update_location",
+                    {"pid": pcb.pid, "current": target},
+                )
+                return
+            except (RpcTimeout, NetworkPartitionedError):
+                attempt += 1
+                yield Sleep(self.host.rpc.retry_backoff(min(attempt, 6)))
+
+    def _renew_lease(
+        self, txn: MigrationTxn, target: int, epoch: int
+    ) -> Generator[Effect, None, None]:
+        """Best-effort lease renewal before the frozen transfer starts.
+
+        Failure is tolerated: if the lease really is gone the install
+        will refuse and the normal abort path runs."""
+        try:
+            reply = yield from self.host.rpc.call(
+                target, "mig.renew",
+                {"pid": txn.pid, "ticket": txn.ticket_id},
+            )
+        except RpcError:
+            self._abandon_if_crashed(epoch, txn)
+            return
+        self._abandon_if_crashed(epoch, txn)
+        if reply.get("renewed"):
+            txn.expires = max(txn.expires, float(reply.get("expires", 0.0)))
+
+    def _close_lease(
+        self, txn: MigrationTxn, target: int, epoch: int
+    ) -> Generator[Effect, None, None]:
+        """Drop the target's lease record for a committed migration.
+
+        Retried until it lands; the target's own expiry reaper is the
+        backstop if the source dies first."""
+        peer_epoch = self._peer_epoch(target)
+        attempt = 0
+        while True:
+            self._abandon_if_crashed(epoch, txn)
+            if self._peer_epoch(target) != peer_epoch:
+                return  # lease registry died with the target
+            if self.sim.now > txn.expires:
+                return  # the reaper already dropped it
+            try:
+                yield from self.host.rpc.call(
+                    target, "mig.close",
+                    {"pid": txn.pid, "ticket": txn.ticket_id},
+                )
+                return
+            except (RpcTimeout, NetworkPartitionedError):
+                attempt += 1
+                yield Sleep(self.host.rpc.retry_backoff(min(attempt, 6)))
+
+    def _write_off(
+        self, pcb: Pcb, target: int, epoch: int
+    ) -> Generator[Effect, None, None]:
+        """The process committed to a target that then died: record the
+        death so parents unblock instead of waiting forever."""
+        status = pcb.exit_status or ExitStatus(
+            pid=pcb.pid,
+            code=128 + signals.SIGKILL,
+            cpu_time=pcb.cpu_time,
+            exit_host=target,
+        )
+        pcb.exit_status = status
+        if pcb.home == self.address:
+            self.kernel.procs.setdefault(pcb.pid, pcb)
+            if pcb.state not in (ProcState.ZOMBIE, ProcState.DEAD):
+                self.kernel._record_zombie(pcb, status)
+            return
+        # Foreign process: drop our copy and tell the home (bounded
+        # retries — the home's own crash detection is the backstop).
+        self.kernel.procs.pop(pcb.pid, None)
+        home_epoch = self._peer_epoch(pcb.home)
+        for attempt in range(self.params.migration_rollback_retries + 1):
+            self._abandon_if_crashed(epoch)
+            if self._peer_epoch(pcb.home) != home_epoch:
+                return
+            try:
+                yield from self.host.rpc.call(
+                    pcb.home,
+                    "proc.exit_notify",
+                    {"pid": pcb.pid, "code": status.code,
+                     "cpu_time": status.cpu_time, "exit_host": target},
+                )
+                return
+            except (RpcTimeout, NetworkPartitionedError):
+                yield Sleep(self.host.rpc.retry_backoff(attempt))
+
+    # ------------------------------------------------------------------
+    # Abort / undo-log replay
+    # ------------------------------------------------------------------
+    def _abort_txn(
+        self, pcb: Pcb, target: int, txn: MigrationTxn, epoch: int
+    ) -> Generator[Effect, None, None]:
+        """Abort: replay the undo log (with retry/backoff); if retries
+        exhaust, hand the remainder to a background repair task so the
+        frozen process is never held hostage to a dead peer."""
+        self._abandon_if_crashed(epoch, txn)
+        if txn.state is not TxnState.ABORTED:
+            txn.advance(TxnState.ABORTED)
+            self.journal.aborted += 1
+        ok = yield from self._replay_undo(txn, target, epoch, close_refs=False)
+        if ok:
+            txn.finish()
+            return
+        txn.rollback_pending = True
+        self.rollback_incomplete += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, f"mig:{self.host.name}",
+                "rollback-incomplete", txn=txn.txn_id,
+            )
+        spawn(
+            self.sim,
+            self._repair(txn, target, epoch, close_refs=False),
+            name=f"mig-repair:{txn.txn_id}",
+            daemon=True,
+        )
+
+    def _replay_undo(
+        self, txn: MigrationTxn, target: int, epoch: int, close_refs: bool
+    ) -> Generator[Effect, None, bool]:
+        ok = True
+        for entry in txn.pending_undo():
+            done = yield from self._try_undo(entry, txn, target, close_refs, epoch)
+            if not done:
+                ok = False
+        return ok
+
+    def _try_undo(
+        self, entry, txn: MigrationTxn, target: int, close_refs: bool,
+        epoch: int,
+    ) -> Generator[Effect, None, bool]:
+        for attempt in range(max(1, self.params.migration_rollback_retries)):
+            self._abandon_if_crashed(epoch, txn)
+            try:
+                yield from self._undo_one(entry, txn, target, close_refs)
+                return True
+            except (RpcError, FsError):
+                if entry.kind == "ticket":
+                    # The lease self-destructs at expiry; stop hammering
+                    # a dead or partitioned target.
+                    entry.undone = True
+                    entry.detail["released"] = "left to expire"
+                    return True
+                yield Sleep(self.host.rpc.retry_backoff(attempt))
+        return False
+
+    def _undo_one(
+        self, entry, txn: MigrationTxn, target: int, close_refs: bool = False
+    ) -> Generator[Effect, None, None]:
+        """Apply one compensating action (idempotent via ``entry.undone``)."""
+        if entry.undone:
+            return
+        if entry.kind == "stream":
+            stream = entry.detail["stream"]
+            state = entry.detail.get("state")
+            if state is None:
+                # The export never returned — but its server-side move
+                # may have landed (lost reply).  Compensate blind: the
+                # reverse move is safe either way (the server clamps a
+                # decrement of a reference it never saw).
+                if stream.is_pipe:
+                    kind = "pipe"
+                elif stream.is_pdev:
+                    kind = "pdev"
+                else:
+                    kind = "file"
+                state = {
+                    "undo": {
+                        "kind": kind,
+                        "addref_sent": False,
+                        "refcount_decremented": False,
+                    },
+                }
+            yield from self.host.fs.undo_export(stream, state, target)
+            if close_refs and not stream.closed:
+                # Recovery path: the process died with the crash, so the
+                # reclaimed reference must also be closed out.
+                stream.refcount = 1
+                yield from self.host.fs.close(stream)
+            entry.undone = True
+            return
+        if entry.kind == "ticket":
+            yield from self.host.rpc.call(
+                target,
+                "mig.release",
+                {"pid": txn.pid,
+                 "ticket": entry.detail.get("ticket", txn.ticket_id)},
+            )
+            entry.undone = True
+            return
+
+    def _repair(
+        self, txn: MigrationTxn, target: int, epoch: int, close_refs: bool
+    ) -> Generator[Effect, None, None]:
+        """Background retry loop for an abort whose inline rollback
+        exhausted its retries (e.g. the FS server was down too)."""
+        attempt = 0
+        while True:
+            if self._crash_epoch != epoch or not self.host.node.up:
+                return  # reboot recovery owns the journal now
+            pending = txn.pending_undo()
+            if not pending:
+                txn.rollback_pending = False
+                txn.finish()
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.sim.now, f"mig:{self.host.name}",
+                        "rollback-repaired", txn=txn.txn_id,
+                    )
+                return
+            progressed = False
+            for entry in pending:
+                if entry.kind == "ticket" and self.sim.now > txn.expires:
+                    entry.undone = True
+                    entry.detail["released"] = "expired"
+                    progressed = True
+                    continue
+                try:
+                    yield from self._undo_one(entry, txn, target, close_refs)
+                    progressed = True
+                except (RpcError, FsError):
+                    continue
+            if not progressed:
+                attempt += 1
+                yield Sleep(self.host.rpc.retry_backoff(min(attempt, 6)))
+
+    # ------------------------------------------------------------------
+    # Reboot-time journal recovery
+    # ------------------------------------------------------------------
+    def _recover_journal(
+        self, txns: List[MigrationTxn], epoch: int
+    ) -> Generator[Effect, None, None]:
+        """Resolve every transaction the crash left open."""
+        yield from self.host.cpu.consume(
+            self.params.kernel_call_cpu * max(1, len(txns))
+        )
+        for txn in txns:
+            if self._crash_epoch != epoch or not self.host.node.up:
+                return
+            try:
+                yield from self._recover_txn(txn, epoch)
+            except MigrationAbandoned:
+                return
+            except (RpcError, FsError) as err:  # pragma: no cover - safety net
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.sim.now, f"mig:{self.host.name}",
+                        "recovery-failed", txn=txn.txn_id, why=str(err),
+                    )
+
+    def _recover_txn(
+        self, txn: MigrationTxn, epoch: int
+    ) -> Generator[Effect, None, None]:
+        pcb: Optional[Pcb] = txn.pcb
+        target = txn.target
+        if txn.state is TxnState.COMMITTED and txn.did("closed"):
+            txn.finish()
+            return
+        activated = txn.did("committed")
+        if not activated and txn.did("commit_sent"):
+            activated = yield from self._resolve_at_target(txn, epoch)
+        if activated:
+            # Re-drive the post-commit duties the crash interrupted.
+            txn.advance(TxnState.COMMITTED)
+            txn.step("committed", recovered=True)
+            self._abandon_if_crashed(epoch, txn)
+            if pcb is not None:
+                if pcb.home == self.address:
+                    if pcb.exit_status is not None:
+                        # The process already exited remotely; make sure
+                        # the zombie is visible to waiting parents.
+                        self.kernel.procs.setdefault(pcb.pid, pcb)
+                        if pcb.state not in (ProcState.ZOMBIE, ProcState.DEAD):
+                            self.kernel._record_zombie(pcb, pcb.exit_status)
+                    elif pcb.pid not in self.kernel.procs:
+                        self.kernel.detach_pcb(pcb, target)
+                txn.step("detached", recovered=True)
+                if (
+                    pcb.home not in (self.address, target)
+                    and not txn.did("home_updated")
+                ):
+                    yield from self._update_home(pcb, target, txn, epoch)
+            txn.step("home_updated", recovered=True)
+            if not txn.did("closed"):
+                yield from self._close_lease(txn, target, epoch)
+            txn.step("closed", recovered=True)
+            self.journal.recovered += 1
+            txn.finish()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, f"mig:{self.host.name}",
+                    "txn-recovered", txn=txn.txn_id, outcome="committed",
+                )
+            return
+        yield from self._recover_aborted(txn, epoch)
+
+    def _resolve_at_target(
+        self, txn: MigrationTxn, epoch: int
+    ) -> Generator[Effect, None, bool]:
+        """Ask the target whether an in-doubt commit activated."""
+        peer_epoch = self._peer_epoch(txn.target)
+        for attempt in range(max(1, self.params.migration_rollback_retries)):
+            self._abandon_if_crashed(epoch, txn)
+            if self._peer_epoch(txn.target) != peer_epoch:
+                break
+            try:
+                reply = yield from self.host.rpc.call(
+                    txn.target, "mig.resolve",
+                    {"pid": txn.pid, "ticket": txn.ticket_id},
+                )
+            except (RpcTimeout, NetworkPartitionedError):
+                yield Sleep(self.host.rpc.retry_backoff(attempt))
+                continue
+            if reply.get("known"):
+                return bool(reply.get("activated"))
+            break  # lease gone at the target: fall back to the marker
+        pcb = txn.pcb
+        return pcb is not None and self._activation_happened(pcb, txn.target)
+
+    def _recover_aborted(
+        self, txn: MigrationTxn, epoch: int
+    ) -> Generator[Effect, None, None]:
+        """The commit never took effect: the source's (dead) copy was
+        authoritative, so replay the undo log — and since the process
+        died with the crash, reclaimed stream references are closed out
+        rather than restored."""
+        if txn.state is not TxnState.ABORTED:
+            txn.advance(TxnState.ABORTED)
+            self.journal.aborted += 1
+        ok = yield from self._replay_undo(txn, txn.target, epoch, close_refs=True)
+        self.journal.recovered += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, f"mig:{self.host.name}",
+                "txn-recovered", txn=txn.txn_id, outcome="aborted",
+            )
+        if ok:
+            txn.finish()
+            return
+        txn.rollback_pending = True
+        self.rollback_incomplete += 1
+        spawn(
+            self.sim,
+            self._repair(txn, txn.target, epoch, close_refs=True),
+            name=f"mig-repair:{txn.txn_id}",
+            daemon=True,
+        )
+
     def _step(
         self, root: Span, name: str, started: float, **attrs: Any
     ) -> float:
@@ -477,32 +1247,6 @@ class MigrationManager:
         self.spans.record(name, root.source, started, now, parent=root,
                           **attrs)
         return now
-
-    def _rollback_streams(
-        self, pcb: Pcb, target: int, stream_states
-    ) -> Generator[Effect, None, None]:
-        """Return exported stream references to this host after an abort."""
-        from ..fs.protocol import StreamMove
-
-        for fd, _state in stream_states:
-            stream = pcb.streams.get(fd)
-            if stream is None or stream.is_pdev:
-                continue
-            try:
-                yield from self.host.rpc.call(
-                    stream.server,
-                    "fs.stream_move",
-                    StreamMove(
-                        handle_id=stream.handle_id,
-                        stream_id=stream.stream_id,
-                        from_client=target,
-                        to_client=self.address,
-                        offset=stream.offset,
-                        mode=stream.mode,
-                    ),
-                )
-            except RpcError:
-                continue  # server unreachable too; nothing more to do
 
     def _finish_record(
         self, record: MigrationRecord, root: Optional[Span] = None
@@ -517,7 +1261,10 @@ class MigrationManager:
     # Target-side services
     # ------------------------------------------------------------------
     def _rpc_negotiate(self, args: Dict[str, Any]) -> Generator[Effect, None, Dict[str, Any]]:
+        epoch = self._crash_epoch
         yield from self.host.cpu.consume(self.params.kernel_call_cpu)
+        if epoch != self._crash_epoch or not self.host.node.up:
+            return {"accept": False, "why": "target crashed during negotiation"}
         if args["version"] != self.params.migration_version:
             return {
                 "accept": False,
@@ -531,7 +1278,65 @@ class MigrationManager:
         if args["home"] != self.address and self.accept_hook is not None:
             if not self.accept_hook(args):
                 return {"accept": False, "why": "host not accepting foreign work"}
-        return {"accept": True, "version": self.params.migration_version}
+        self._ticket_seq += 1
+        lease = TicketLease(
+            pid=args["pid"],
+            ticket_id=self._ticket_seq,
+            expires=self.sim.now + self.params.migration_ticket_ttl,
+            reserved_bytes=int(args.get("vm_bytes", 0)),
+        )
+        key = (lease.pid, lease.ticket_id)
+        self._tickets[key] = lease
+        self.reserved_bytes += lease.reserved_bytes
+        spawn(
+            self.sim,
+            self._reaper(key, lease),
+            name=f"mig-reaper:{self.host.name}:{lease.ticket_id}",
+            daemon=True,
+        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, f"mig:{self.host.name}", "ticket-issued",
+                pid=lease.pid, ticket=lease.ticket_id,
+                reserved=lease.reserved_bytes,
+            )
+        return {
+            "accept": True,
+            "version": self.params.migration_version,
+            "ticket": lease.ticket_id,
+            "expires": lease.expires,
+        }
+
+    def _reaper(self, key: Tuple[int, int], lease: TicketLease) -> Generator[Effect, None, None]:
+        """Reap the lease (and any inactive copy under it) at expiry."""
+        while True:
+            now = self.sim.now
+            if now >= lease.expires:
+                break
+            yield Sleep(lease.expires - now)
+        if self._tickets.get(key) is not lease:
+            return  # closed/released/re-issued meanwhile (or we crashed)
+        self._reap(key, lease, "expired")
+
+    def _reap(self, key: Tuple[int, int], lease: TicketLease, why: str) -> None:
+        self._tickets.pop(key, None)
+        self._free_reservation(lease)
+        if lease.install is not None:
+            # The source still owns the stream references (its abort or
+            # recovery pulls them back); only local records go.
+            for stream in lease.install.streams.values():
+                self.host.fs.forget_stream(stream)
+            lease.install = None
+        lease.status = "reaped"
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, f"mig:{self.host.name}", "ticket-reaped",
+                pid=lease.pid, ticket=lease.ticket_id, why=why,
+            )
+
+    def _free_reservation(self, lease: TicketLease) -> None:
+        self.reserved_bytes = max(0, self.reserved_bytes - lease.reserved_bytes)
+        lease.reserved_bytes = 0
 
     @property
     def pending_arrivals(self) -> int:
@@ -544,25 +1349,180 @@ class MigrationManager:
         """Record an acceptance (called by acceptance policies)."""
         self._pending_accepts.append(self.sim.now)
 
-    def _rpc_install(self, payload: Dict[str, Any]) -> Generator[Effect, None, None]:
+    def _rpc_install(self, payload: Dict[str, Any]) -> Generator[Effect, None, Dict[str, Any]]:
+        """Install the shipped state *inactive* under its lease.
+
+        The travelling PCB is deliberately not touched and nothing
+        enters the process table: until ``mig.commit`` the source's
+        copy is the process, and an abort has nothing here to undo
+        beyond dropping the :class:`PendingInstall`.
+        """
+        epoch = self._crash_epoch
         pcb: Pcb = payload["pcb"]
+        key = (payload.get("pid", pcb.pid), payload.get("ticket", 0))
         if self._pending_accepts:
             self._pending_accepts.pop(0)
+        lease = self._tickets.get(key)
+        if lease is None:
+            return {"installed": False, "why": "unknown or expired ticket"}
+        if lease.status == "installed":
+            # Idempotent: a retried install is acknowledged, not redone.
+            return {"installed": True, "duplicate": True,
+                    "expires": lease.expires}
+        if lease.status != "issued":
+            return {"installed": False, "why": f"ticket is {lease.status}"}
+        if self.sim.now >= lease.expires:
+            return {"installed": False, "why": "ticket expired"}
+        lease.status = "installing"
         yield from self.host.cpu.consume(self.params.migration_state_cpu)
-        self.kernel.install_pcb(pcb)
-        # Streams: install the exported copies under the original fds.
-        pcb.streams = {}
+        pending = PendingInstall(
+            pid=pcb.pid,
+            ticket_id=lease.ticket_id,
+            pcb=pcb,
+            expires=lease.expires,
+            reserved_bytes=lease.reserved_bytes,
+            cpu_time=payload.get("cpu_time", 0.0),
+        )
+        failure: Optional[BaseException] = None
         for fd, state in payload["streams"]:
-            stream = yield from self.host.fs.import_stream(state)
-            pcb.streams[fd] = stream
-        # The backing file stays on its server; rebind it to this client.
-        if pcb.vm.backing is not None:
-            pcb.vm.backing = pcb.vm.backing.handoff(self.host.fs)
+            try:
+                stream = yield from self.host.fs.import_stream(state)
+            except (RpcError, FsError) as err:
+                failure = err
+                break
+            pending.streams[fd] = stream
+        # Re-validate after the yields: the host may have crashed (and
+        # even rebooted) or the reaper may have fired mid-install; a
+        # zombie service task must not resurrect state either way.
+        if (
+            epoch != self._crash_epoch
+            or not self.host.node.up
+            or self._tickets.get(key) is not lease
+        ):
+            for stream in pending.streams.values():
+                self.host.fs.forget_stream(stream)
+            return {"installed": False, "why": "lease lost during install"}
+        if failure is not None:
+            for stream in pending.streams.values():
+                self.host.fs.forget_stream(stream)
+            lease.status = "issued"
+            return {"installed": False, "why": f"stream import failed: {failure}"}
+        # Each protocol message renews the lease (the reaper re-checks).
+        lease.expires = max(
+            lease.expires, self.sim.now + self.params.migration_ticket_ttl
+        )
+        pending.expires = lease.expires
+        lease.install = pending
+        lease.status = "installed"
         if self.tracer.enabled:
             self.tracer.emit(
-                self.sim.now, f"mig:{self.host.name}", "installed", pid=pcb.pid
+                self.sim.now, f"mig:{self.host.name}", "installed",
+                pid=pcb.pid, ticket=lease.ticket_id,
             )
-        return None
+        return {"installed": True, "expires": lease.expires}
+
+    def _rpc_commit(self, args: Dict[str, Any]) -> Generator[Effect, None, Dict[str, Any]]:
+        """The commit point, target side: activate the inactive copy.
+
+        Everything from ``install_pcb`` to the reply is yield-free, so
+        activation is atomic with respect to crashes and other tasks —
+        there is never an instant with two runnable copies.
+        """
+        epoch = self._crash_epoch
+        key = (args["pid"], args["ticket"])
+        yield from self.host.cpu.consume(self.params.kernel_call_cpu)
+        if epoch != self._crash_epoch or not self.host.node.up:
+            return {"activated": False, "why": "target crashed during commit"}
+        lease = self._tickets.get(key)
+        if lease is None:
+            return {"activated": False, "unknown": True,
+                    "why": "unknown or expired ticket"}
+        if lease.status == "activated":
+            return {"activated": True, "duplicate": True}
+        if lease.status != "installed" or lease.install is None:
+            return {"activated": False,
+                    "why": f"ticket is {lease.status}: nothing installed"}
+        if self.sim.now >= lease.expires:
+            self._reap(key, lease, "expired-at-commit")
+            return {"activated": False, "why": "ticket expired"}
+        pending = lease.install
+        pcb = pending.pcb
+        if pcb.task is not None and pcb.task.done:
+            self._reap(key, lease, "process-died")
+            return {"activated": False, "why": "process died before commit"}
+        # --- activation: atomic (no yields until the return) ---
+        self.kernel.install_pcb(pcb)
+        pcb.streams = dict(pending.streams)
+        if pcb.vm.backing is not None:
+            pcb.vm.backing = pcb.vm.backing.handoff(self.host.fs)
+        self._free_reservation(lease)
+        lease.install = None
+        lease.status = "activated"
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, f"mig:{self.host.name}", "activated",
+                pid=pcb.pid, ticket=lease.ticket_id,
+            )
+        return {"activated": True}
+
+    def _rpc_release(self, args: Dict[str, Any]) -> Generator[Effect, None, Dict[str, Any]]:
+        """Source-side abort is releasing its lease (undo-log replay)."""
+        epoch = self._crash_epoch
+        key = (args["pid"], args["ticket"])
+        yield from self.host.cpu.consume(self.params.kernel_call_cpu)
+        if epoch != self._crash_epoch or not self.host.node.up:
+            return {"released": False, "why": "target crashed"}
+        lease = self._tickets.get(key)
+        if lease is None:
+            return {"released": True, "already": True}
+        if lease.status == "activated":
+            return {"released": False, "why": "already activated"}
+        self._tickets.pop(key, None)
+        self._free_reservation(lease)
+        if lease.install is not None:
+            for stream in lease.install.streams.values():
+                self.host.fs.forget_stream(stream)
+            lease.install = None
+        lease.status = "released"
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, f"mig:{self.host.name}", "ticket-released",
+                pid=lease.pid, ticket=lease.ticket_id,
+            )
+        return {"released": True}
+
+    def _rpc_renew(self, args: Dict[str, Any]) -> Generator[Effect, None, Dict[str, Any]]:
+        """Extend a live lease (the source is about to freeze/ship)."""
+        epoch = self._crash_epoch
+        key = (args["pid"], args["ticket"])
+        yield from self.host.cpu.consume(self.params.kernel_call_cpu)
+        if epoch != self._crash_epoch or not self.host.node.up:
+            return {"renewed": False, "why": "target crashed"}
+        lease = self._tickets.get(key)
+        if lease is None or lease.status not in ("issued", "installing", "installed"):
+            return {"renewed": False, "why": "lease not renewable"}
+        lease.expires = max(
+            lease.expires, self.sim.now + self.params.migration_ticket_ttl
+        )
+        return {"renewed": True, "expires": lease.expires}
+
+    def _rpc_resolve(self, args: Dict[str, Any]) -> Generator[Effect, None, Dict[str, Any]]:
+        """Recovery probe: did an in-doubt commit activate?  Read-only."""
+        yield from self.host.cpu.consume(self.params.kernel_call_cpu)
+        lease = self._tickets.get((args["pid"], args["ticket"]))
+        if lease is None:
+            return {"known": False, "activated": False}
+        return {"known": True, "activated": lease.status == "activated"}
+
+    def _rpc_close(self, args: Dict[str, Any]) -> Generator[Effect, None, Dict[str, Any]]:
+        """Committed migration complete: drop the lease record."""
+        key = (args["pid"], args["ticket"])
+        yield from self.host.cpu.consume(self.params.kernel_call_cpu)
+        lease = self._tickets.pop(key, None)
+        if lease is not None:
+            self._free_reservation(lease)
+            lease.status = "closed"
+        return {"closed": lease is not None}
 
     def _rpc_update_location(self, args: Dict[str, Any]) -> Generator[Effect, None, None]:
         yield from self.host.cpu.consume(self.params.kernel_call_cpu)

@@ -13,6 +13,7 @@ __all__ = [
     "summarize_records",
     "records_by_reason",
     "refusal_reasons",
+    "rollback_stats",
 ]
 
 
@@ -45,6 +46,34 @@ def refusal_reasons(records: Iterable[MigrationRecord]) -> Dict[str, int]:
         why = record.detail.get("refusal", "unspecified")
         reasons[why] = reasons.get(why, 0) + 1
     return reasons
+
+
+def rollback_stats(managers: Iterable[MigrationManager]) -> Dict[str, int]:
+    """Cluster-wide undo-log health: transaction counters plus the
+    ``rollback_incomplete`` tally (aborts whose inline undo replay
+    exhausted its retries and was handed to a background repair task).
+    """
+    totals = {
+        "begun": 0,
+        "committed": 0,
+        "aborted": 0,
+        "recovered": 0,
+        "rollback_incomplete": 0,
+        "rollback_pending": 0,
+        "eviction_failures": 0,
+    }
+    for manager in managers:
+        journal = manager.journal
+        totals["begun"] += journal.begun
+        totals["committed"] += journal.committed
+        totals["aborted"] += journal.aborted
+        totals["recovered"] += journal.recovered
+        totals["rollback_incomplete"] += manager.rollback_incomplete
+        totals["rollback_pending"] += sum(
+            1 for txn in journal.txns.values() if txn.rollback_pending
+        )
+        totals["eviction_failures"] += manager.eviction_failures
+    return totals
 
 
 def summarize_records(records: List[MigrationRecord]) -> Dict[str, float]:

@@ -1,0 +1,243 @@
+"""Crash-consistent migration transactions (the Sprite commit point, §4.5).
+
+The thesis promises that a migration either completes or leaves the
+process running untouched at the source.  This module makes that
+promise explicit: every migration is a :class:`MigrationTxn` driven
+through a small state machine,
+
+    NEGOTIATED --> FROZEN --> SHIPPED --> COMMITTED
+         \\           \\          \\
+          +-----------+----------+------> ABORTED
+
+with a *single commit point* — the source's ``mig.commit`` RPC.  Before
+the commit the target holds the process **inactive** under a leased
+:class:`~repro.kernel.MigrationTicket` (crash anywhere → the target
+reaps the inactive copy when the lease expires, the source resumes or
+dies with its own copy; never two runnable copies).  After the commit
+the target's copy is the process (crash at the source → its shadow and
+home-update duties are reconstructed from the journal on reboot).
+
+Each txn step is idempotent and journaled in the per-host
+:class:`MigrationJournal`.  The journal models Sprite writing its
+migration metadata through the file system: it survives ``host.crash``
+(unlike the kernel's process table) and is replayed by
+``MigrationManager.on_reboot`` — in-flight transactions replay their
+undo log (stream references pulled back or closed, the target's
+inactive copy released), committed-but-unfinished ones re-drive the
+post-commit duties (home shadow, ``mig.update_location``, close).
+
+The journal also exposes the per-step hook the crash-matrix harness
+(:mod:`repro.faults.crashmatrix`) uses to inject a fault at *every*
+step boundary of the protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "TxnState",
+    "TXN_STEPS",
+    "JournalEntry",
+    "UndoEntry",
+    "MigrationTxn",
+    "MigrationJournal",
+]
+
+
+class TxnState(enum.Enum):
+    """Lifecycle of one migration transaction."""
+
+    NEGOTIATED = "negotiated"   # target accepted; lease (ticket) issued
+    FROZEN = "frozen"           # process parked at a safe point
+    SHIPPED = "shipped"         # inactive copy resident at the target
+    COMMITTED = "committed"     # target activated; the copy there is IT
+    ABORTED = "aborted"         # undo log replayed (or being replayed)
+
+
+#: Every journaled step boundary, in protocol order.  The crash matrix
+#: iterates exactly this tuple: {source, target, home, FS server} x
+#: {crash, partition} x each boundary below.
+TXN_STEPS = (
+    "negotiated",        # mig.negotiate accepted, ticket issued
+    "frozen",            # process parked at its safe point
+    "vm_sent",           # VM policy's frozen-phase transfer done
+    "state_packed",      # machine-independent kernel state packaged
+    "streams_exported",  # every open stream moved to the target's name
+    "shipped",           # mig.install acked: inactive copy at target
+    "commit_sent",       # commit point crossed from the source's view
+    "committed",         # target acked activation
+    "detached",          # source dropped its copy / became the shadow
+    "home_updated",      # third-party home points at the target
+    "closed",            # target dropped its lease record: txn complete
+)
+
+_STEP_INDEX = {name: i for i, name in enumerate(TXN_STEPS)}
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled step of one transaction."""
+
+    time: float
+    txn_id: str
+    step: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:12.6f}] txn {self.txn_id} {self.step:<16} {parts}"
+
+
+@dataclass
+class UndoEntry:
+    """One compensating action recorded before its forward action.
+
+    ``kind`` is ``"stream"`` (a stream reference moved to the target;
+    undone by :meth:`repro.fs.FsClient.undo_export`) or ``"ticket"``
+    (a lease issued at the target; undone by ``mig.release``).
+    """
+
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+    #: Set once the compensating action has been applied (idempotence).
+    undone: bool = False
+
+
+@dataclass
+class MigrationTxn:
+    """One migration's transactional state, owned by the source."""
+
+    txn_id: str
+    pid: int
+    source: int
+    target: int
+    home: int
+    reason: str
+    pcb: Any = None
+    ticket_id: int = 0
+    expires: float = 0.0
+    state: TxnState = TxnState.NEGOTIATED
+    #: Steps journaled so far, in order (idempotent: logged once).
+    steps: List[str] = field(default_factory=list)
+    undo: List[UndoEntry] = field(default_factory=list)
+    started: float = 0.0
+    #: True once nothing remains to do or undo; only then may the
+    #: journal forget the transaction ("no leaked journal entries").
+    finished: bool = False
+    #: An abort exhausted its rollback retries; a background repair
+    #: task owns the remaining undo entries.
+    rollback_pending: bool = False
+    journal: Optional["MigrationJournal"] = None
+
+    # ------------------------------------------------------------------
+    def advance(self, state: TxnState) -> None:
+        self.state = state
+
+    def step(self, name: str, **detail: Any) -> None:
+        """Journal one step boundary (idempotent: re-logging is a no-op)."""
+        if name in self.steps:
+            return
+        if name not in _STEP_INDEX:
+            raise ValueError(f"unknown txn step {name!r}")
+        self.steps.append(name)
+        if self.journal is not None:
+            self.journal.log(self, name, detail)
+
+    def did(self, name: str) -> bool:
+        return name in self.steps
+
+    def push_undo(self, kind: str, **detail: Any) -> UndoEntry:
+        entry = UndoEntry(kind=kind, detail=detail)
+        self.undo.append(entry)
+        return entry
+
+    def pending_undo(self) -> List[UndoEntry]:
+        """Compensating actions not yet applied, newest first."""
+        return [e for e in reversed(self.undo) if not e.undone]
+
+    @property
+    def in_doubt(self) -> bool:
+        """The commit may have been delivered but was never acked."""
+        return self.did("commit_sent") and not self.did("committed")
+
+    def finish(self) -> None:
+        self.finished = True
+        if self.journal is not None:
+            self.journal.forget(self)
+
+
+class MigrationJournal:
+    """Per-host migration write-ahead journal.
+
+    Modeled as *persistent* storage: the object lives on the (never
+    reconstructed) :class:`~repro.migration.MigrationManager`, so —
+    unlike the kernel's process table — it survives ``host.crash`` and
+    is what reboot-time recovery replays.
+
+    ``enabled=False`` is a benchmark-only ablation (no entries, no open
+    transactions, no recovery) used to pin the journal's overhead; the
+    protocol itself runs identically either way.
+    """
+
+    def __init__(self, host_name: str = "?", enabled: bool = True):
+        self.host_name = host_name
+        self.enabled = enabled
+        self.entries: List[JournalEntry] = []
+        #: Open (not yet finished) transactions by id.
+        self.txns: Dict[str, MigrationTxn] = {}
+        self._seq = 0
+        #: Crash-matrix hook: called as ``on_step(txn, step)`` right
+        #: after each step is journaled, *at that simulated instant*.
+        self.on_step: Optional[Callable[[MigrationTxn, str], None]] = None
+        #: Monotonic telemetry (never reset; survives crashes).
+        self.begun = 0
+        self.committed = 0
+        self.aborted = 0
+        self.recovered = 0
+        self._now: Callable[[], float] = lambda: 0.0
+
+    # ------------------------------------------------------------------
+    def bind_clock(self, now: Callable[[], float]) -> None:
+        self._now = now
+
+    def begin(
+        self, pcb: Any, source: int, target: int, reason: str
+    ) -> MigrationTxn:
+        self._seq += 1
+        txn = MigrationTxn(
+            txn_id=f"{source}:{pcb.pid}:{self._seq}",
+            pid=pcb.pid,
+            source=source,
+            target=target,
+            home=pcb.home,
+            reason=reason,
+            pcb=pcb,
+            started=self._now(),
+            journal=self if self.enabled else None,
+        )
+        self.begun += 1
+        if self.enabled:
+            self.txns[txn.txn_id] = txn
+        return txn
+
+    def log(self, txn: MigrationTxn, step: str, detail: Dict[str, Any]) -> None:
+        if not self.enabled:
+            return
+        self.entries.append(
+            JournalEntry(self._now(), txn.txn_id, step, dict(detail))
+        )
+        if self.on_step is not None:
+            self.on_step(txn, step)
+
+    def forget(self, txn: MigrationTxn) -> None:
+        self.txns.pop(txn.txn_id, None)
+
+    def open_txns(self) -> List[MigrationTxn]:
+        """Transactions with work left to do or undo (recovery targets)."""
+        return [
+            self.txns[key] for key in sorted(self.txns)
+            if not self.txns[key].finished
+        ]

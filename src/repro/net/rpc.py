@@ -228,6 +228,12 @@ class RpcPort:
             delay *= 1.0 + jitter * (2.0 * rng.random() - 1.0)
         return delay
 
+    def retry_backoff(self, attempt: int) -> float:
+        """Public jittered-backoff schedule for callers running their own
+        retry loops (e.g. migration rollback) so every retrier on a host
+        shares one deterministic jitter stream."""
+        return self._retry_backoff(attempt)
+
     def call(
         self,
         dst: int,

@@ -177,7 +177,7 @@ def render_flame(spans: Sequence[Span], limit: int = 10) -> str:
 # ----------------------------------------------------------------------
 #: Phase spans that partition a ``mig.migrate`` root contiguously.
 MIGRATION_PHASES = ("mig.negotiate", "mig.vm_pre", "mig.wait_safe_point",
-                    "mig.freeze")
+                    "mig.freeze", "mig.commit")
 
 
 def migration_breakdowns(spans: Sequence[Span]) -> List[Dict[str, Any]]:

@@ -528,3 +528,211 @@ def test_kill_during_freeze_delivered_after_resume():
     assert code == 128 + ksig.SIGTERM
     # It died *after* installation on the target.
     assert pcb.current == b.address
+
+
+# ----------------------------------------------------------------------
+# Transactional abort paths: partial exports, lease expiry, repair
+# ----------------------------------------------------------------------
+def test_partial_stream_export_failure_rolls_back_exported_streams():
+    """If the Nth stream export fails mid-loop, the N-1 already-exported
+    references are pulled back: the process keeps running at the source
+    with every stream usable, and the transaction journal drains."""
+    from repro.fs import FsError
+
+    cluster = make_cluster()
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        fd1 = yield from proc.open("/a", OpenMode.WRITE | OpenMode.CREATE)
+        fd2 = yield from proc.open("/b", OpenMode.WRITE | OpenMode.CREATE)
+        yield from proc.compute(5.0)
+        # Both streams must still work after the failed migration.
+        yield from proc.write(fd1, 100)
+        yield from proc.write(fd2, 100)
+        yield from proc.close(fd1)
+        yield from proc.close(fd2)
+        return 0
+
+    pcb, _ = a.spawn_process(job, name="job")
+    cluster.run(until=1.0)
+    stream_ids = sorted(s.stream_id for s in pcb.streams.values())
+    assert len(stream_ids) == 2
+
+    real_export = a.fs.export_stream
+    calls = {"n": 0}
+
+    def flaky_export(stream, to_client):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            def boom():
+                raise FsError("injected export failure")
+                yield  # pragma: no cover - makes this a generator
+            return boom()
+        return real_export(stream, to_client)
+
+    a.fs.export_stream = flaky_export
+    manager = cluster.managers[a.address]
+    refusals = []
+
+    def driver():
+        try:
+            yield from manager.migrate(pcb, b.address, reason="manual")
+        except MigrationRefused as err:
+            refusals.append(str(err))
+        a.fs.export_stream = real_export
+
+    from repro.sim import spawn
+
+    spawn(cluster.sim, driver(), name="driver")
+    code = cluster.run_until_complete(pcb.task)
+
+    assert code == 0
+    assert refusals and "stream export" in refusals[0]
+    assert pcb.current == a.address
+    # The first export was rolled back: nothing was left addressed to
+    # the target, and the journal kept no open transaction behind.
+    assert manager.journal.open_txns() == []
+    assert manager.rollback_incomplete == 0
+    server = cluster.server_hosts[0].server
+    for path in ("/a", "/b"):
+        for refs in server.file(path).stream_refs.values():
+            assert b.address not in refs
+
+
+def test_aborted_transfer_ticket_expires_and_reclaims_reservation():
+    """Source dies right after mig.install: the target's inactive copy
+    sits under its lease (memory reserved) until the TTL reaps it, and
+    a late duplicate mig.install for the same (pid, ticket) is refused
+    without disturbing anything."""
+    cluster = make_cluster()
+    a, b, c = cluster.hosts[0], cluster.hosts[1], cluster.hosts[2]
+
+    def job(proc):
+        yield from proc.compute(500.0)
+        return 0
+
+    pcb, _ = a.spawn_process(job, name="job")
+    pcb.vm.size = 1 << 20
+    src_manager = cluster.managers[a.address]
+    dst_manager = cluster.managers[b.address]
+    outcomes = []
+
+    def kill_source(txn, step):
+        if step == "shipped":
+            a.crash()  # never rebooted: the lease must die by expiry
+
+    src_manager.journal.on_step = kill_source
+
+    def driver():
+        yield Sleep(0.5)
+        try:
+            yield from src_manager.migrate(pcb, b.address, reason="manual")
+        except MigrationRefused as err:
+            outcomes.append(type(err).__name__)
+
+    from repro.migration import MigrationAbandoned
+    from repro.sim import spawn
+
+    spawn(cluster.sim, driver(), name="driver")
+    cluster.run(until=3.0)
+    src_manager.journal.on_step = None
+
+    assert outcomes == ["MigrationAbandoned"]
+    assert MigrationAbandoned is not None
+    # The inactive copy is leased and its memory reserved...
+    (lease,) = dst_manager._tickets.values()
+    assert lease.status == "installed"
+    assert lease.install is not None
+    assert dst_manager.reserved_bytes == 1 << 20
+    expires = lease.expires
+    ticket_id = lease.ticket_id
+
+    # ...until the TTL passes: reaped, reservation reclaimed, and the
+    # copy never activated (no second runnable copy ever existed).
+    cluster.run(until=expires + 1.0)
+    assert dst_manager._tickets == {}
+    assert dst_manager.reserved_bytes == 0
+    assert pcb.pid not in b.kernel.procs
+
+    # A late duplicate install (e.g. a retransmit that slept through the
+    # outage) is rejected idempotently for the same (pid, ticket).
+    replies = []
+
+    def late_install():
+        reply = yield from c.rpc.call(
+            b.address, "mig.install",
+            {"pcb": pcb, "pid": pcb.pid, "ticket": ticket_id,
+             "streams": [], "cpu_time": 0.0},
+        )
+        replies.append(reply)
+
+    spawn(cluster.sim, late_install(), name="late-install")
+    cluster.run(until=cluster.sim.now + 5.0)
+    assert replies and not replies[0]["installed"]
+    assert "unknown or expired" in replies[0]["why"]
+    assert dst_manager._tickets == {}
+    assert dst_manager.reserved_bytes == 0
+
+
+def test_rollback_retry_exhaustion_hands_off_to_repair():
+    """When every rollback retry fails (source partitioned away from
+    the file server), the abort is counted in ``rollback_incomplete``
+    and a background repair task finishes the undo once the network
+    heals — nothing stays leaked."""
+    from repro.faults import FaultInjector
+    from repro.migration import rollback_stats
+
+    cluster = make_cluster()
+    injector = FaultInjector(cluster)
+    a, b = cluster.hosts[0], cluster.hosts[1]
+
+    def job(proc):
+        yield from proc.open("/a", OpenMode.WRITE | OpenMode.CREATE)
+        yield from proc.compute(500.0)
+        return 0
+
+    pcb, _ = a.spawn_process(job, name="job")
+    cluster.run(until=1.0)
+    manager = cluster.managers[a.address]
+    refusals = []
+
+    def cut_network(txn, step):
+        # Fire after the stream left for the target: the install RPC
+        # fails, and so does every undo RPC until the heal.
+        if step == "streams_exported":
+            injector.partition([a.address])
+
+    manager.journal.on_step = cut_network
+
+    def driver():
+        try:
+            yield from manager.migrate(pcb, b.address, reason="manual")
+        except MigrationRefused as err:
+            refusals.append(str(err))
+
+    def healer():
+        yield Sleep(20.0)
+        injector.heal()
+
+    from repro.sim import spawn
+
+    spawn(cluster.sim, driver(), name="driver")
+    spawn(cluster.sim, healer(), name="healer", daemon=True)
+    cluster.run(until=15.0)
+    manager.journal.on_step = None
+
+    # Retries exhausted while partitioned: handed off to repair.
+    assert refusals
+    stats = rollback_stats(cluster.managers.values())
+    assert stats["rollback_incomplete"] == 1
+    assert stats["rollback_pending"] == 1
+
+    # After the heal the repair daemon completes the undo.
+    cluster.run(until=60.0)
+    stats = rollback_stats(cluster.managers.values())
+    assert stats["rollback_pending"] == 0
+    assert manager.journal.open_txns() == []
+    assert pcb.current == a.address
+    # The stream reference is home again and still usable.
+    stream = next(iter(pcb.streams.values()))
+    assert stream.stream_id in a.fs.open_streams

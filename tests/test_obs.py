@@ -280,14 +280,20 @@ def test_migration_spans_partition_total_time():
     # record's total, and the root's extent equals it too.
     assert row["total"] == pytest.approx(record.total_time, abs=1e-12)
     assert row["phase_sum"] == pytest.approx(record.total_time, rel=1e-9)
-    assert row["freeze"] == pytest.approx(record.freeze_time, abs=1e-12)
+    # The frozen interval splits at the commit point: freeze covers
+    # park -> commit, commit covers the post-commit duties.
+    assert row["freeze"] + row["commit"] == pytest.approx(
+        record.freeze_time, abs=1e-12
+    )
+    assert row["commit"] == pytest.approx(record.commit_time, abs=1e-12)
+    assert record.commit_started > 0.0
     assert row["started"] == record.started
     assert row["ended"] == record.ended
     # Lifecycle sub-steps exist under the root.
     names = {s.name for s in obs.spans.finished}
     assert {"mig.migrate", "mig.negotiate", "mig.wait_safe_point",
-            "mig.freeze", "mig.state_pack", "mig.streams",
-            "mig.install", "rpc.call", "rpc.serve"} <= names
+            "mig.freeze", "mig.commit", "mig.commit_rpc", "mig.state_pack",
+            "mig.streams", "mig.install", "rpc.call", "rpc.serve"} <= names
 
 
 def test_migration_spans_are_deterministic():
