@@ -11,9 +11,9 @@ likes best.
 from __future__ import annotations
 
 from repro import SpriteCluster
-from repro.loadsharing import LoadSharingService, install_accept_hooks
+from repro.loadsharing import LoadSharingService
 from repro.metrics import Table
-from repro.sim import Sleep, run_until_complete, spawn
+from repro.sim import run_until_complete, spawn
 
 from common import run_simulated
 

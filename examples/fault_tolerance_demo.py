@@ -19,7 +19,7 @@ Run:  python examples/fault_tolerance_demo.py
 """
 
 from repro import SpriteCluster
-from repro.faults import FaultPlan, run_chaos
+from repro.faults import run_chaos
 from repro.fs import OpenMode
 from repro.loadsharing import LoadSharingService
 from repro.migration import MigrationRefused

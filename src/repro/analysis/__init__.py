@@ -1,0 +1,55 @@
+"""Static analysis for the reproduction's whole-codebase invariants.
+
+The runtime guarantees this repo advertises — byte-identical fixed-seed
+traces, zero-cost-when-disabled tracing, crash-consistent migration
+transactions — are properties of *every* call site, not just the ones a
+test happens to exercise.  This package checks them statically, on the
+AST, so a violating PR fails CI even when no test covers the new code:
+
+* :mod:`.rules_determinism` — no wall-clock or ambient randomness;
+  named RNG substreams; ordered iteration into effectful calls.
+* :mod:`.rules_observability` — every trace/span emission dominated by
+  an ``enabled`` / ``is not None`` guard.
+* :mod:`.rules_rpc` — service names registered and called consistently;
+  handlers are generator coroutines.
+* :mod:`.rules_txn` — journaled steps come from ``TXN_STEPS``; undo-log
+  kinds are pushed and replayed symmetrically.
+* :mod:`.rules_errors` — ``net/``, ``fs/`` and ``migration/`` raise
+  only through the unified error hierarchies.
+
+Run it as ``python -m repro lint``; see ``docs/static-analysis.md`` for
+the rule catalogue, the ``# lint: disable=RULE(reason)`` pragma, and
+the baseline workflow.
+"""
+
+from .baseline import Baseline, DEFAULT_BASELINE_PATH
+from .core import (
+    Finding,
+    LintResult,
+    ModuleInfo,
+    Rule,
+    Tree,
+    all_rules,
+    default_src_root,
+    run_lint,
+)
+
+# Importing the rule modules registers their rules.
+from . import rules_determinism  # noqa: F401
+from . import rules_errors  # noqa: F401
+from . import rules_observability  # noqa: F401
+from . import rules_rpc  # noqa: F401
+from . import rules_txn  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_PATH",
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "Tree",
+    "all_rules",
+    "default_src_root",
+    "run_lint",
+]

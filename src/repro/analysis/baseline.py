@@ -1,0 +1,91 @@
+"""Grandfathered-finding baseline.
+
+The baseline is a checked-in JSON file mapping known findings to how
+many instances of each are tolerated.  Entries are keyed by
+``(rule, file, snippet)`` rather than line number so unrelated edits
+above a grandfathered site don't invalidate it; an edit *to* the site
+itself changes the snippet and resurfaces the finding.
+
+The goal state is an empty baseline — ``python -m repro lint --baseline
+update`` exists for incremental adoption, not as a parking lot.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Tuple
+
+from .core import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_PATH"]
+
+#: repo-root-relative location of the checked-in baseline
+DEFAULT_BASELINE_PATH = (
+    pathlib.Path(__file__).resolve().parents[3] / "tools" / "lint_baseline.json"
+)
+
+_Key = Tuple[str, str, str]
+
+
+class Baseline:
+    def __init__(self, entries: Optional[Dict[_Key, int]] = None):
+        self.entries: Dict[_Key, int] = dict(entries or {})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        raw = json.loads(path.read_text())
+        entries: Dict[_Key, int] = {}
+        for item in raw.get("entries", []):
+            key = (item["rule"], item["file"], item.get("snippet", ""))
+            entries[key] = int(item.get("count", 1))
+        return cls(entries)
+
+    def save(self, path: pathlib.Path) -> None:
+        items = [
+            {"rule": rule, "file": file, "snippet": snippet, "count": count}
+            for (rule, file, snippet), count in sorted(self.entries.items())
+        ]
+        payload = {
+            "comment": (
+                "Grandfathered lint findings; keep this empty. "
+                "Regenerate with: python -m repro lint --baseline update"
+            ),
+            "entries": items,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries: Dict[_Key, int] = {}
+        for finding in findings:
+            key = (finding.rule, finding.rel, finding.snippet)
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+    def filter(self, findings: List[Finding]) -> Tuple[List[Finding], int]:
+        """Drop findings covered by the baseline.
+
+        Returns ``(kept, grandfathered_count)``.  Each baseline entry
+        absorbs at most its recorded count, so *new* duplicates of a
+        grandfathered pattern still fail.
+        """
+        budget = dict(self.entries)
+        kept: List[Finding] = []
+        grandfathered = 0
+        for finding in findings:
+            key = (finding.rule, finding.rel, finding.snippet)
+            remaining = budget.get(key, 0)
+            if remaining > 0:
+                budget[key] = remaining - 1
+                grandfathered += 1
+            else:
+                kept.append(finding)
+        return kept, grandfathered
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

@@ -1,0 +1,427 @@
+"""Framework core: module loading, pragmas, the rule registry, driver.
+
+The driver parses every ``*.py`` under one source root into a
+:class:`Tree`, hands the whole tree to each registered :class:`Rule`
+(rules are free to do cross-module analysis — the RPC conformance and
+stream-collision rules depend on it), then filters the findings through
+inline pragmas and the checked-in baseline.
+
+Pragma grammar (suppression is per-line, per-rule, never blanket)::
+
+    some_call()  # lint: disable=rule-id(reason why this site is fine)
+    # lint: disable=rule-a,rule-b(one reason for both)
+
+A pragma suppresses matching findings on its own line and on the line
+directly below it (for statements too long to share a line with their
+justification).  ``# span-guard: caller`` is kept as a legacy alias for
+``# lint: disable=obs-unguarded-emit(caller holds the guard)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "Tree",
+    "all_rules",
+    "default_src_root",
+    "dotted_name",
+    "register_rule",
+    "run_lint",
+]
+
+#: ``# lint: disable=rule-one,rule-two(reason...)``
+_PRAGMA = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,()\- .:'\"/]+)")
+_PRAGMA_ITEM = re.compile(r"([a-z0-9-]+)(?:\(([^)]*)\))?")
+_SPAN_GUARD = re.compile(r"#\s*span-guard:\s*caller")
+
+
+def default_src_root() -> pathlib.Path:
+    """The package's own source tree (``src/repro`` in a checkout)."""
+    return pathlib.Path(__file__).resolve().parents[1]
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted name of a call target / attribute chain.
+
+    ``self.host.rpc.call`` -> ``"self.host.rpc.call"``; unresolvable
+    pieces (subscripts, calls) become ``"?"`` so suffix matching on the
+    tail still works.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append("?")
+    return ".".join(reversed(parts))
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site."""
+
+    rule: str
+    path: pathlib.Path       #: absolute path of the offending file
+    rel: str                 #: path relative to the lint root (posix)
+    line: int
+    message: str
+    snippet: str = ""        #: stripped source line, used by the baseline
+
+    def location(self, repo_root: Optional[pathlib.Path] = None) -> str:
+        shown: str
+        if repo_root is not None:
+            try:
+                shown = self.path.relative_to(repo_root).as_posix()
+            except ValueError:
+                shown = str(self.path)
+        else:
+            shown = str(self.path)
+        return f"{shown}:{self.line}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "file": self.rel,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class ModuleInfo:
+    """One parsed source file plus its pragma table."""
+
+    def __init__(self, path: pathlib.Path, root: pathlib.Path):
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.source = path.read_text()
+        self.lines = self.source.splitlines()
+        self.error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.Module] = ast.parse(
+                self.source, filename=str(path)
+            )
+        except SyntaxError as err:
+            self.tree = None
+            self.error = err
+        #: line number -> {rule_id -> reason}; built lazily.
+        self._pragmas: Optional[Dict[int, Dict[str, str]]] = None
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def pragmas(self) -> Dict[int, Dict[str, str]]:
+        if self._pragmas is None:
+            table: Dict[int, Dict[str, str]] = {}
+            for index, line in enumerate(self.lines, start=1):
+                if _SPAN_GUARD.search(line):
+                    table.setdefault(index, {})["obs-unguarded-emit"] = (
+                        "caller holds the guard"
+                    )
+                match = _PRAGMA.search(line)
+                if match is None:
+                    continue
+                for item in match.group(1).split(","):
+                    parsed = _PRAGMA_ITEM.match(item.strip())
+                    if parsed is None:
+                        continue
+                    rule, reason = parsed.group(1), parsed.group(2) or ""
+                    table.setdefault(index, {})[rule] = reason
+            self._pragmas = table
+        return self._pragmas
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """A pragma on the finding's line, or on the line above it
+        (standalone-comment style), silences that rule there."""
+        for candidate in (line, line - 1):
+            if rule in self.pragmas.get(candidate, {}):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """child node -> parent node, for dominance-style walks."""
+        if self._parents is None:
+            table: Dict[ast.AST, ast.AST] = {}
+            assert self.tree is not None
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    table[child] = parent
+            self._parents = table
+        return self._parents
+
+    def line_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node_or_line, message: str) -> Finding:
+        line = (
+            node_or_line
+            if isinstance(node_or_line, int)
+            else getattr(node_or_line, "lineno", 0)
+        )
+        return Finding(
+            rule=rule,
+            path=self.path,
+            rel=self.rel,
+            line=line,
+            message=message,
+            snippet=self.line_at(line),
+        )
+
+
+class Tree:
+    """Every parsed module under one source root."""
+
+    def __init__(self, root: pathlib.Path, modules: Sequence[ModuleInfo]):
+        self.root = root
+        self.modules = list(modules)
+        self._by_rel = {module.rel: module for module in self.modules}
+
+    @classmethod
+    def load(cls, root: pathlib.Path) -> "Tree":
+        root = root.resolve()
+        modules = [
+            ModuleInfo(path, root)
+            for path in sorted(root.rglob("*.py"))
+            if "analysis" not in path.relative_to(root).parts[:1]
+        ]
+        return cls(root, modules)
+
+    def module(self, rel: str) -> Optional[ModuleInfo]:
+        return self._by_rel.get(rel)
+
+    def parsed(self) -> List[ModuleInfo]:
+        return [module for module in self.modules if module.tree is not None]
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class: subclass, set ``id``/``description``, implement
+    :meth:`check`, and register with :func:`register_rule`."""
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, tree: Tree) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    if not rule.id:
+        raise ValueError("rule needs an id")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+@dataclass
+class LintResult:
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0      #: silenced by inline pragmas
+    baselined: int = 0       #: grandfathered by the baseline file
+    parse_errors: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+def run_lint(
+    src_root: Optional[pathlib.Path] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline: Optional["Baseline"] = None,  # noqa: F821 - fwd ref
+) -> LintResult:
+    """Lint every module under ``src_root`` with the selected rules."""
+    root = (src_root or default_src_root()).resolve()
+    tree = Tree.load(root)
+    result = LintResult()
+    for module in tree.modules:
+        if module.error is not None:
+            result.parse_errors.append(
+                Finding(
+                    rule="parse-error",
+                    path=module.path,
+                    rel=module.rel,
+                    line=module.error.lineno or 0,
+                    message=f"syntax error: {module.error.msg}",
+                )
+            )
+    selected = all_rules()
+    if rule_ids is not None:
+        wanted = set(rule_ids)
+        unknown = wanted - {rule.id for rule in selected}
+        if unknown:
+            raise KeyError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}"
+            )
+        selected = [rule for rule in selected if rule.id in wanted]
+    raw: List[Finding] = []
+    for rule in selected:
+        raw.extend(rule.check(tree))
+    kept: List[Finding] = []
+    for finding in raw:
+        module = tree.module(finding.rel)
+        if module is not None and module.suppressed(finding.rule, finding.line):
+            result.suppressed += 1
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.rel, f.line, f.rule, f.message))
+    if baseline is not None:
+        kept, grandfathered = baseline.filter(kept)
+        result.baselined = grandfathered
+    result.findings = kept
+    return result
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers used by several rules
+# ----------------------------------------------------------------------
+def literal_str(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def enclosing_function(
+    module: ModuleInfo, node: ast.AST
+) -> Optional[ast.AST]:
+    current = module.parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = module.parents.get(current)
+    return None
+
+
+def enclosing_class(module: ModuleInfo, node: ast.AST) -> Optional[ast.ClassDef]:
+    current = module.parents.get(node)
+    while current is not None:
+        if isinstance(current, ast.ClassDef):
+            return current
+        current = module.parents.get(current)
+    return None
+
+
+def is_generator(func: ast.AST) -> bool:
+    """Does this def yield (ignoring nested defs/lambdas/comprehensions)?"""
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def module_constants(module_tree: ast.Module) -> Dict[str, str]:
+    """Module-level ``NAME = "literal"`` string constants."""
+    table: Dict[str, str] = {}
+    for node in module_tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = literal_str(node.value)
+            if isinstance(target, ast.Name) and value is not None:
+                table[target.id] = value
+    return table
+
+
+def class_constants(klass: ast.ClassDef) -> Dict[str, str]:
+    """Class-level ``NAME = "literal"`` string attributes."""
+    table: Dict[str, str] = {}
+    for node in klass.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = literal_str(node.value)
+            if isinstance(target, ast.Name) and value is not None:
+                table[target.id] = value
+    return table
+
+
+def resolve_str_arg(
+    module: ModuleInfo, call_site: ast.AST, node: Optional[ast.AST]
+) -> Optional[str]:
+    """Resolve an argument to a string: literal, module constant, class
+    constant via ``self.NAME`` / ``cls.NAME``, or a parameter's literal
+    default in the enclosing function."""
+    if node is None:
+        return None
+    direct = literal_str(node)
+    if direct is not None:
+        return direct
+    assert module.tree is not None
+    if isinstance(node, ast.Name):
+        value = module_constants(module.tree).get(node.id)
+        if value is not None:
+            return value
+        func = enclosing_function(module, call_site)
+        if func is not None:
+            value = _param_default(func, node.id)
+            if value is not None:
+                return value
+        klass = enclosing_class(module, call_site)
+        if klass is not None:
+            return class_constants(klass).get(node.id)
+        return None
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id in ("self", "cls"):
+            klass = enclosing_class(module, call_site)
+            if klass is not None:
+                return class_constants(klass).get(node.attr)
+        return None
+    return None
+
+
+def _param_default(func: ast.AST, name: str) -> Optional[str]:
+    args = func.args  # type: ignore[union-attr]
+    positional = args.posonlyargs + args.args
+    defaults = args.defaults
+    offset = len(positional) - len(defaults)
+    for index, arg in enumerate(positional):
+        if arg.arg == name and index >= offset:
+            return literal_str(defaults[index - offset])
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if arg.arg == name:
+            return literal_str(default)
+    return None
+
+
+def call_args(call: ast.Call) -> Tuple[List[ast.AST], Dict[str, ast.AST]]:
+    return list(call.args), {
+        kw.arg: kw.value for kw in call.keywords if kw.arg is not None
+    }
+
+
+def in_dirs(module: ModuleInfo, dirs: Set[str]) -> bool:
+    head = module.rel.split("/", 1)[0]
+    return head in dirs

@@ -1,0 +1,281 @@
+"""Determinism rules.
+
+The simulator's headline property is that a fixed seed yields a
+byte-identical event trace (golden tests in
+``tests/golden_engine_determinism.json``).  That only holds if no code
+under ``src/repro`` consults wall clocks or ambient randomness, all
+randomness flows through named :class:`~repro.sim.random.RandomStreams`
+substreams, and nothing iterates an unordered container into the event
+schedule or the network.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    Tree,
+    dotted_name,
+    register_rule,
+    resolve_str_arg,
+)
+
+#: call targets (matched by dotted-name suffix) that read wall clocks or
+#: OS entropy — both vary run-to-run and poison trace fingerprints.
+_WALLCLOCK_SUFFIXES = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.today": "wall-clock read",
+    "date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived UUID",
+    "uuid.uuid4": "OS-entropy UUID",
+}
+
+#: np.random entry points that are fine: explicitly seeded constructors.
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64"}
+
+#: receiver names whose ``.stream(name)`` method is the sanctioned RNG
+#: substream accessor (RandomStreams instances around the tree).
+_STREAM_RECEIVERS = {"rng", "streams", "random_streams"}
+
+#: effectful calls: reaching one of these from iteration over an
+#: unordered container injects that container's order into the event
+#: schedule or onto the wire.
+_EFFECT_SUFFIXES = {
+    "schedule",
+    "schedule_many",
+    "defer",
+    "send",
+    "broadcast",
+    "transfer",
+    "call",
+    "spawn",
+    "try_put",
+    "try_put_batch",
+    "put",
+    "trigger",
+    "fail",
+    "interrupt",
+    "emit",
+}
+
+
+class WallClockRule(Rule):
+    id = "determinism-wallclock"
+    description = (
+        "No wall-clock, OS-entropy, or UUID reads inside src/repro; "
+        "simulated time comes from engine.now."
+    )
+
+    def check(self, tree: Tree) -> Iterable[Finding]:
+        for module in tree.parsed():
+            assert module.tree is not None
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                for suffix, what in _WALLCLOCK_SUFFIXES.items():
+                    if name == suffix or name.endswith("." + suffix):
+                        yield module.finding(
+                            self.id,
+                            node,
+                            f"{name}() is a {what}; use engine.now / "
+                            "cluster.rng for anything trace-visible",
+                        )
+                        break
+
+
+class GlobalRandomRule(Rule):
+    id = "determinism-global-random"
+    description = (
+        "No stdlib `random` module and no ambient numpy global RNG; "
+        "randomness must come from seeded generators."
+    )
+
+    def check(self, tree: Tree) -> Iterable[Finding]:
+        for module in tree.parsed():
+            assert module.tree is not None
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.name == "random" or alias.name.startswith(
+                            "random."
+                        ):
+                            yield module.finding(
+                                self.id,
+                                node,
+                                "stdlib `random` is globally seeded state; "
+                                "use cluster.rng.stream(name)",
+                            )
+                elif isinstance(node, ast.ImportFrom):
+                    # level > 0 is a relative import (e.g. sim/.random)
+                    if node.module == "random" and node.level == 0:
+                        yield module.finding(
+                            self.id,
+                            node,
+                            "stdlib `random` is globally seeded state; "
+                            "use cluster.rng.stream(name)",
+                        )
+                elif isinstance(node, ast.Attribute):
+                    name = dotted_name(node)
+                    if (
+                        name.startswith(("np.random.", "numpy.random."))
+                        and name.rsplit(".", 1)[1] not in _NP_RANDOM_OK
+                    ):
+                        yield module.finding(
+                            self.id,
+                            node,
+                            f"{name} uses numpy's ambient global RNG; "
+                            "construct via np.random.default_rng(seed)",
+                        )
+
+
+class RngStreamLiteralRule(Rule):
+    id = "determinism-rng-stream"
+    description = (
+        "RandomStreams.stream(name) must take a resolvable string "
+        "literal so stream names can be audited for collisions."
+    )
+
+    def check(self, tree: Tree) -> Iterable[Finding]:
+        for module, call, resolved in _stream_calls(tree):
+            if resolved is None:
+                yield module.finding(
+                    self.id,
+                    call,
+                    "stream name is not a resolvable string literal "
+                    "(literal, module/class constant, or param default)",
+                )
+
+
+class StreamCollisionRule(Rule):
+    id = "determinism-stream-collision"
+    description = (
+        "The same RNG substream name drawn from two different modules "
+        "couples their random sequences."
+    )
+
+    def check(self, tree: Tree) -> Iterable[Finding]:
+        sites: Dict[str, List[Tuple[ModuleInfo, ast.Call]]] = {}
+        for module, call, resolved in _stream_calls(tree):
+            if resolved is not None:
+                sites.setdefault(resolved, []).append((module, call))
+        for name, uses in sorted(sites.items()):
+            files = {module.rel for module, _ in uses}
+            if len(files) < 2:
+                continue
+            for module, call in uses:
+                others = ", ".join(sorted(files - {module.rel}))
+                yield module.finding(
+                    self.id,
+                    call,
+                    f'stream name "{name}" is also drawn in {others}; '
+                    "shared substreams couple unrelated random sequences",
+                )
+
+
+def _stream_calls(
+    tree: Tree,
+) -> Iterable[Tuple[ModuleInfo, ast.Call, Optional[str]]]:
+    for module in tree.parsed():
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "stream"):
+                continue
+            receiver = dotted_name(func.value)
+            tail = receiver.rsplit(".", 1)[-1]
+            if tail not in _STREAM_RECEIVERS:
+                continue
+            arg = node.args[0] if node.args else None
+            yield module, node, resolve_str_arg(module, node, arg)
+
+
+class UnorderedIterRule(Rule):
+    id = "determinism-unordered-iter"
+    description = (
+        "for-loops over dict views / sets whose bodies schedule, send, "
+        "or spawn must iterate sorted(...)."
+    )
+
+    def check(self, tree: Tree) -> Iterable[Finding]:
+        for module in tree.parsed():
+            assert module.tree is not None
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.For):
+                    continue
+                what = _unordered_source(node.iter)
+                if what is None:
+                    continue
+                effect = _first_effect(node)
+                if effect is None:
+                    continue
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"iterating {what} feeds {effect}() — wrap the "
+                    "iterable in sorted() to pin the order",
+                )
+
+
+def _unordered_source(iter_node: ast.AST) -> Optional[str]:
+    """Name the unordered container being iterated, or None if ordered."""
+    if isinstance(iter_node, ast.Call):
+        func = iter_node.func
+        if isinstance(func, ast.Name):
+            if func.id == "sorted":
+                return None
+            if func.id in ("set", "frozenset", "dict"):
+                return f"{func.id}(...)"
+            if func.id in ("list", "tuple", "enumerate", "reversed", "zip"):
+                # ordered wrappers: recurse into the first argument
+                if iter_node.args:
+                    return _unordered_source(iter_node.args[0])
+                return None
+            return None
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "keys",
+            "values",
+            "items",
+        ):
+            return f"{dotted_name(func)}()"
+        return None
+    if isinstance(iter_node, ast.Set):
+        return "a set literal"
+    if isinstance(iter_node, ast.SetComp):
+        return "a set comprehension"
+    return None
+
+
+def _first_effect(loop: ast.For) -> Optional[str]:
+    """First effectful call (or yield) inside the loop body, if any."""
+    for child in loop.body + loop.orelse:
+        for node in ast.walk(child):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return "yield"
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                tail = name.rsplit(".", 1)[-1]
+                if tail in _EFFECT_SUFFIXES:
+                    return tail
+    return None
+
+
+register_rule(WallClockRule())
+register_rule(GlobalRandomRule())
+register_rule(RngStreamLiteralRule())
+register_rule(StreamCollisionRule())
+register_rule(UnorderedIterRule())

@@ -1,0 +1,130 @@
+"""Error-hierarchy rule.
+
+PR 3/4 unified failure handling behind two roots — ``net/errors.py``'s
+``RpcError`` tree and ``fs/errors.py``'s ``FsError`` tree — so that
+every retry/abort/rollback path can catch one ancestor.  A module under
+``net/``, ``fs/`` or ``migration/`` that raises a bare builtin
+(``RuntimeError``, ``OSError``…) punches a hole in that contract: the
+exception sails past ``except RpcError`` and aborts the whole task.
+
+The rule builds a cross-tree class table: every class defined in
+``net/errors.py`` / ``fs/errors.py`` is a hierarchy member, as is any
+class transitively deriving from one (wherever it is defined, e.g.
+``MigrationRefused(RpcError)`` in ``migration/mechanism.py``).
+
+Deliberately out of scope: bare ``raise`` (re-raise), raising a
+variable, and a small set of programmer-error builtins (``ValueError``,
+``TypeError``, ``NotImplementedError``, ``AssertionError``) which
+signal bugs in the simulation itself, not simulated failures.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, Iterable, Optional, Set
+
+from .core import Finding, Rule, Tree, register_rule
+
+_SCOPED_DIRS = ("net/", "fs/", "migration/")
+_HIERARCHY_FILES = ("net/errors.py", "fs/errors.py")
+
+#: builtins that indicate a bug in the code, not a simulated failure —
+#: these should crash the run loudly and are allowed anywhere.
+_ALLOWED_BUILTINS = {
+    "ValueError",
+    "TypeError",
+    "NotImplementedError",
+    "AssertionError",
+    "KeyError",
+    "StopIteration",
+}
+
+
+def _builtin_exceptions() -> Set[str]:
+    names = set()
+    for name in dir(builtins):
+        obj = getattr(builtins, name)
+        if isinstance(obj, type) and issubclass(obj, BaseException):
+            names.add(name)
+    return names
+
+
+class ErrorHierarchyRule(Rule):
+    id = "error-hierarchy"
+    description = (
+        "net/, fs/ and migration/ raise only through the unified "
+        "RpcError / FsError hierarchies (plus programmer-error builtins)."
+    )
+
+    def check(self, tree: Tree) -> Iterable[Finding]:
+        compliant = self._compliant_classes(tree)
+        if not compliant:
+            return  # fixture tree with no hierarchy files: rule is inert
+        banned_builtins = _builtin_exceptions() - _ALLOWED_BUILTINS
+        for module in tree.parsed():
+            if not module.rel.startswith(_SCOPED_DIRS):
+                continue
+            assert module.tree is not None
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                name = _raised_class_name(node.exc)
+                if name is None or name in compliant:
+                    continue
+                if name in _ALLOWED_BUILTINS:
+                    continue
+                if name in banned_builtins:
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"raises builtin {name}; derive from RpcError "
+                        "(net/errors.py) or FsError (fs/errors.py) so "
+                        "unified except/retry paths catch it",
+                    )
+                # unknown class names (imported helpers, variables) are
+                # skipped rather than guessed at
+
+    @staticmethod
+    def _compliant_classes(tree: Tree) -> Set[str]:
+        bases: Dict[str, Set[str]] = {}
+        seeds: Set[str] = set()
+        for module in tree.parsed():
+            assert module.tree is not None
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                base_names = {
+                    base.id if isinstance(base, ast.Name) else base.attr
+                    for base in node.bases
+                    if isinstance(base, (ast.Name, ast.Attribute))
+                }
+                bases[node.name] = base_names
+                if module.rel in _HIERARCHY_FILES:
+                    seeds.add(node.name)
+        compliant = set(seeds)
+        changed = True
+        while changed:
+            changed = False
+            for name, base_names in bases.items():
+                if name not in compliant and base_names & compliant:
+                    compliant.add(name)
+                    changed = True
+        return compliant
+
+
+def _raised_class_name(exc: ast.AST) -> Optional[str]:
+    """Class name of ``raise X(...)`` / ``raise X``, else None."""
+    target = exc.func if isinstance(exc, ast.Call) else exc
+    if isinstance(target, ast.Name):
+        name = target.id
+        # raising a lowercase variable (``raise err``) is a re-raise
+        if name[:1].islower():
+            return None
+        return name
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+register_rule(ErrorHierarchyRule())

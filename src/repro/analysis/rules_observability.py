@@ -1,0 +1,193 @@
+"""Observability guard rule.
+
+The tracing layer's contract (PR 2) is zero cost when disabled: every
+``tracer.emit`` / ``spans.start`` / ``spans.record`` call site must be
+dominated by a cheap enabled-check so a disabled run never builds event
+payloads.  This is the AST replacement for the old 5-line regex window
+in ``tools/check_trace_guards.py`` — a guard counts wherever it
+actually dominates the call, not just within 5 source lines of it.
+
+A call is considered guarded when, inside its enclosing function:
+
+* an ancestor ``if``/``elif``/``while`` test mentions ``.enabled`` or
+  an ``is (not) None`` comparison, or a boolean expression short-
+  circuits on one (``tracer.enabled and tracer.emit(...)``), or
+* an earlier same-suite ``if`` with such a test ends in
+  ``return``/``raise``/``continue`` (early-exit guard).
+
+Sites that emit on behalf of callers carry ``# span-guard: caller``
+(an alias for ``# lint: disable=obs-unguarded-emit``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from .core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    Tree,
+    dotted_name,
+    register_rule,
+)
+
+#: method names whose call sites need a guard (matched on attribute
+#: access, any receiver: ``self.tracer.emit``, ``host.spans.record`` …)
+_EMIT_ATTRS = {"emit", "start", "record"}
+_EMIT_RECEIVER_TAILS = {"tracer", "spans"}
+
+#: trees that *implement* the tracing layer are exempt, as in the old tool
+_EXEMPT_DIRS = {"obs"}
+_EXEMPT_FILES = {"sim/trace.py"}
+
+
+class UnguardedEmitRule(Rule):
+    id = "obs-unguarded-emit"
+    description = (
+        "tracer.emit / spans.start / spans.record must be dominated by "
+        "an `enabled` / `is not None` guard in the enclosing function."
+    )
+
+    def check(self, tree: Tree) -> Iterable[Finding]:
+        for module in tree.parsed():
+            head = module.rel.split("/", 1)[0]
+            if head in _EXEMPT_DIRS or module.rel in _EXEMPT_FILES:
+                continue
+            assert module.tree is not None
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not _is_emit_call(node):
+                    continue
+                if _is_guarded(module, node):
+                    continue
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"{dotted_name(node.func)}() is not dominated by an "
+                    "enabled/None guard; wrap in `if tracer.enabled:` or "
+                    "mark `# span-guard: caller`",
+                )
+
+
+def is_emit_line(module: ModuleInfo, lineno: int) -> bool:
+    """Does line ``lineno`` start an emit call?  (Used by the shim.)"""
+    assert module.tree is not None
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and node.lineno == lineno
+            and _is_emit_call(node)
+        ):
+            return True
+    return False
+
+
+def _is_emit_call(call: ast.Call) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _EMIT_ATTRS:
+        return False
+    receiver = dotted_name(func.value)
+    return receiver.rsplit(".", 1)[-1] in _EMIT_RECEIVER_TAILS
+
+
+def _test_is_guard(test: ast.AST) -> bool:
+    """Does this condition check enabledness or non-None-ness?"""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "enabled":
+            return True
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+        ):
+            if any(
+                isinstance(cmp, ast.Constant) and cmp.value is None
+                for cmp in node.comparators
+            ):
+                return True
+    return False
+
+
+def _suite_exits(body: List[ast.stmt]) -> bool:
+    if not body:
+        return False
+    last = body[-1]
+    return isinstance(last, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+def _is_guarded(module: ModuleInfo, call: ast.Call) -> bool:
+    parents = module.parents
+    child: ast.AST = call
+    parent: Optional[ast.AST] = parents.get(call)
+    while parent is not None:
+        # ancestor conditional whose test is a guard and whose body
+        # (not orelse) contains us
+        if isinstance(parent, (ast.If, ast.While)):
+            if _test_is_guard(parent.test) and _in_suite(parent.body, child):
+                return True
+        # short-circuit form: tracer.enabled and tracer.emit(...)
+        if isinstance(parent, ast.BoolOp) and isinstance(parent.op, ast.And):
+            index = parent.values.index(child) if child in parent.values else -1
+            if index > 0 and any(
+                _test_is_guard(value) for value in parent.values[:index]
+            ):
+                return True
+        # conditional expression: emit(...) if tracer.enabled else None
+        if isinstance(parent, ast.IfExp):
+            if _test_is_guard(parent.test) and parent.body is child:
+                return True
+        # early-exit guard: a prior statement in the same suite is
+        # `if not tracer.enabled: return`
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _early_exit_before(parent.body, child):
+                return True
+            return False  # stop at the function boundary
+        if isinstance(parent, (ast.If, ast.While, ast.For, ast.Try, ast.With)):
+            for suite in _suites_of(parent):
+                if _in_suite(suite, child) and _early_exit_before(suite, child):
+                    return True
+        child = parent
+        parent = parents.get(parent)
+    return False
+
+
+def _suites_of(node: ast.AST) -> List[List[ast.stmt]]:
+    suites: List[List[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        suite = getattr(node, attr, None)
+        if suite:
+            suites.append(suite)
+    for handler in getattr(node, "handlers", []) or []:
+        suites.append(handler.body)
+    return suites
+
+
+def _in_suite(suite: List[ast.stmt], node: ast.AST) -> bool:
+    for stmt in suite:
+        if stmt is node or any(child is node for child in ast.walk(stmt)):
+            return True
+    return False
+
+
+def _early_exit_before(suite: List[ast.stmt], node: ast.AST) -> bool:
+    """Is there an `if <guard-test>: return/raise/continue` earlier in
+    this suite than the statement containing ``node``?"""
+    container_index = None
+    for index, stmt in enumerate(suite):
+        if stmt is node or any(child is node for child in ast.walk(stmt)):
+            container_index = index
+            break
+    if container_index is None:
+        return False
+    for stmt in suite[:container_index]:
+        if (
+            isinstance(stmt, ast.If)
+            and _test_is_guard(stmt.test)
+            and _suite_exits(stmt.body)
+        ):
+            return True
+    return False
+
+
+register_rule(UnguardedEmitRule())

@@ -1,0 +1,246 @@
+"""RPC conformance rules.
+
+``net/rpc.py``'s contract: services are registered by name with a
+generator-function handler (``port.register(name, handler)``) and
+invoked by name (``yield from port.call(dst, name, args)``).  The name
+is a free-form string, so a typo on either side compiles fine and fails
+only at runtime with an ``unknown service`` error on some code path a
+test may never walk.  These rules close the loop statically:
+
+* every called service name has a registration somewhere in the tree;
+* every registered service name is called somewhere (dead services are
+  usually a rename that missed the call sites);
+* every registered handler is a generator function, since the RPC
+  server drives handlers with ``yield from``.
+
+Call-site names are resolved through module constants, class constants
+(``self.GOSSIP_SERVICE``) and one level of forwarding helpers — a
+method that passes its own parameter into the service slot of ``.call``
+(e.g. ``FsServer._callback``) has its call sites' literals collected.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .core import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    Tree,
+    dotted_name,
+    is_generator,
+    register_rule,
+    resolve_str_arg,
+)
+
+_Site = Tuple[ModuleInfo, ast.AST]
+
+
+def _is_rpc_receiver(receiver: str) -> bool:
+    tail = receiver.rsplit(".", 1)[-1]
+    return tail == "rpc" or tail.startswith("port")
+
+
+def _service_arg(call: ast.Call) -> Optional[ast.AST]:
+    """The service-name slot of ``port.call(dst, service, ...)``."""
+    if len(call.args) >= 2:
+        return call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "service":
+            return keyword.value
+    return None
+
+
+def _collect(tree: Tree):
+    """One pass over the tree: registrations, calls, forwarding helpers."""
+    registered: Dict[str, List[_Site]] = {}
+    handlers: List[Tuple[ModuleInfo, ast.Call, ast.AST]] = []
+    called: Dict[str, List[_Site]] = {}
+    unresolved_calls: List[_Site] = []
+    # (module.rel, helper-name) -> 0-based positional index (after self)
+    # of the parameter the helper forwards into the service slot.
+    helper_params: Dict[Tuple[str, str], int] = {}
+
+    for module in tree.parsed():
+        assert module.tree is not None
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = [arg.arg for arg in func.args.args]
+            if params and params[0] in ("self", "cls"):
+                params = params[1:]
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = node.func
+                if not isinstance(target, ast.Attribute):
+                    continue
+                if target.attr == "call" and _is_rpc_receiver(
+                    dotted_name(target.value)
+                ):
+                    arg = _service_arg(node)
+                    if (
+                        isinstance(arg, ast.Name)
+                        and arg.id in params
+                        and resolve_str_arg(module, node, arg) is None
+                    ):
+                        helper_params[(module.rel, func.name)] = params.index(
+                            arg.id
+                        )
+
+    for module in tree.parsed():
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = node.func
+            if not isinstance(target, ast.Attribute):
+                continue
+            receiver = dotted_name(target.value)
+            if target.attr == "register":
+                name_arg = node.args[0] if node.args else None
+                name = resolve_str_arg(module, node, name_arg)
+                if name is None:
+                    continue  # e.g. lan.register(node) — not a service
+                registered.setdefault(name, []).append((module, node))
+                if len(node.args) >= 2:
+                    handlers.append((module, node, node.args[1]))
+            elif target.attr == "call" and _is_rpc_receiver(receiver):
+                arg = _service_arg(node)
+                name = resolve_str_arg(module, node, arg)
+                if name is None:
+                    if not _inside_helper(module, node, arg, helper_params):
+                        unresolved_calls.append((module, node))
+                else:
+                    called.setdefault(name, []).append((module, node))
+            elif (module.rel, target.attr) in helper_params:
+                index = helper_params[(module.rel, target.attr)]
+                arg: Optional[ast.AST] = None
+                if index < len(node.args):
+                    arg = node.args[index]
+                name = resolve_str_arg(module, node, arg)
+                if name is not None:
+                    called.setdefault(name, []).append((module, node))
+
+    return registered, handlers, called, unresolved_calls
+
+
+def _inside_helper(
+    module: ModuleInfo,
+    call: ast.Call,
+    arg: Optional[ast.AST],
+    helper_params: Dict[Tuple[str, str], int],
+) -> bool:
+    """Is this the body of a forwarding helper passing its own param?"""
+    if not isinstance(arg, ast.Name):
+        return False
+    parent = module.parents.get(call)
+    while parent is not None:
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return (module.rel, parent.name) in helper_params
+        parent = module.parents.get(parent)
+    return False
+
+
+class UnregisteredServiceRule(Rule):
+    id = "rpc-unregistered-service"
+    description = (
+        "Every service name passed to port.call must be registered "
+        "somewhere in the tree."
+    )
+
+    def check(self, tree: Tree) -> Iterable[Finding]:
+        registered, _, called, unresolved = _collect(tree)
+        for name, sites in sorted(called.items()):
+            if name in registered:
+                continue
+            for module, node in sites:
+                yield module.finding(
+                    self.id,
+                    node,
+                    f'service "{name}" is called but never registered '
+                    "with any RpcPort",
+                )
+        for module, node in unresolved:
+            yield module.finding(
+                self.id,
+                node,
+                "service name is not statically resolvable; use a "
+                "literal or a module/class constant",
+            )
+
+
+class UnusedServiceRule(Rule):
+    id = "rpc-unused-service"
+    description = (
+        "Every registered service should have at least one call site "
+        "(dead registrations are usually missed renames)."
+    )
+
+    def check(self, tree: Tree) -> Iterable[Finding]:
+        registered, _, called, _ = _collect(tree)
+        for name, sites in sorted(registered.items()):
+            if name in called:
+                continue
+            for module, node in sites:
+                yield module.finding(
+                    self.id,
+                    node,
+                    f'service "{name}" is registered but no call site '
+                    "references it",
+                )
+
+
+class HandlerNotGeneratorRule(Rule):
+    id = "rpc-handler-not-generator"
+    description = (
+        "RPC handlers are driven with `yield from`; a registered "
+        "handler must be a generator function."
+    )
+
+    def check(self, tree: Tree) -> Iterable[Finding]:
+        for module, call, handler in _handler_sites(tree):
+            func = _resolve_handler(module, handler)
+            if func is None:
+                continue  # can't resolve: don't guess
+            if not is_generator(func):
+                yield module.finding(
+                    self.id,
+                    call,
+                    f"handler `{dotted_name(handler)}` is not a generator "
+                    "function (no yield); the RPC server drives handlers "
+                    "with `yield from`",
+                )
+
+
+def _handler_sites(tree: Tree):
+    _, handlers, _, _ = _collect(tree)
+    return handlers
+
+
+def _resolve_handler(
+    module: ModuleInfo, handler: ast.AST
+) -> Optional[ast.AST]:
+    """Find the def a handler expression refers to, if it's local."""
+    assert module.tree is not None
+    name: Optional[str] = None
+    if isinstance(handler, ast.Attribute):
+        name = handler.attr
+    elif isinstance(handler, ast.Name):
+        name = handler.id
+    if name is None:
+        return None
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == name
+        ):
+            return node
+    return None
+
+
+register_rule(UnregisteredServiceRule())
+register_rule(UnusedServiceRule())
+register_rule(HandlerNotGeneratorRule())

@@ -14,7 +14,7 @@ checkpoint on the next idle host.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, List, Optional
 
 from ..config import MB

@@ -12,7 +12,7 @@ chapters 2 and 7.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator, Optional, Sequence
+from typing import Any, Generator, Optional
 
 from ..config import KB
 from ..kernel import Host, Program, UserContext

@@ -384,6 +384,12 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return subprocess.call(command, cwd=str(benchmarks.parent))
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import cmd_lint as _cmd_lint
+
+    return _cmd_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -452,6 +458,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: all 88)")
     chaos.add_argument("--json", action="store_true",
                        help="machine-readable report on stdout")
+    lint = sub.add_parser(
+        "lint",
+        help="AST invariant linter (determinism, trace guards, RPC "
+             "conformance, txn hygiene, error hierarchies)",
+    )
+    from .analysis.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(lint)
     return parser
 
 
@@ -465,6 +479,7 @@ def main(argv: Optional[list] = None) -> int:
         "report": cmd_report,
         "trace": cmd_trace,
         "chaos": cmd_chaos,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

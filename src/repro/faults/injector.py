@@ -19,7 +19,7 @@ Zero cost when absent: without an injector, ``lan.fabric`` stays
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Dict, Generator, List, Optional, Set
 
 from ..kernel import Host
 from ..obs import SpanTracer

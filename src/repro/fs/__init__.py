@@ -18,6 +18,7 @@ from .errors import (
     FileNotFound,
     FsError,
     NotPseudoDevice,
+    PipeBrokenError,
 )
 from .paging import BackingFile
 from .pdev import IncomingRequest, PdevMaster, PdevRegistry
@@ -44,6 +45,7 @@ __all__ = [
     "PIPE_BUFFER_BYTES",
     "PdevMaster",
     "PdevRegistry",
+    "PipeBrokenError",
     "PipeService",
     "PrefixTable",
     "ServerFile",

@@ -25,3 +25,11 @@ class AccessError(FsError):
 
 class NotPseudoDevice(FsError):
     """Pseudo-device operation on a regular file."""
+
+
+class PipeBrokenError(BrokenPipeError, FsError):
+    """Write on a pipe whose read end is closed.
+
+    Also derives from the builtin ``BrokenPipeError`` so callers using
+    UNIX-style handling keep working.
+    """

@@ -19,6 +19,7 @@ from typing import Generator, Optional
 from ..config import ClusterParams
 from ..sim import Effect
 from .client import FsClient
+from .errors import BadStream
 from .protocol import IoRequest, OpenMode, OpenRequest
 
 __all__ = ["BackingFile"]
@@ -118,4 +119,4 @@ class BackingFile:
 
     def _require_open(self) -> None:
         if self.handle_id < 0:
-            raise RuntimeError(f"backing file {self.path} not created/attached")
+            raise BadStream(f"backing file {self.path} not created/attached")

@@ -15,15 +15,13 @@ from the new host.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Generator, Optional, Tuple
-
-from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
 
 from ..config import KB, ClusterParams
 from ..net import Reply
 from ..sim import Effect, SimEvent, Simulator
-from .errors import BadStream
+from .errors import BadStream, PipeBrokenError
 
 __all__ = ["PipeService", "PIPE_BUFFER_BYTES"]
 
@@ -118,7 +116,7 @@ class PipeService:
         written = 0
         while written < nbytes:
             if state.read_closed:
-                raise BrokenPipeError(f"pipe {pipe_id}: read end closed")
+                raise PipeBrokenError(f"pipe {pipe_id}: read end closed")
             room = state.capacity - state.buffered
             if room <= 0:
                 if state.writable is None:

@@ -27,7 +27,7 @@ from typing import Any, Dict, Generator, Optional, Set
 from ..config import ClusterParams
 from ..sim import Cpu, Effect, Resource, Simulator, Tracer
 from ..net import Lan, NetNode, Reply, RpcPort
-from .errors import FileExists, FileNotFound, NotPseudoDevice
+from .errors import FileNotFound
 from .protocol import (
     CloseRequest,
     IoRequest,
@@ -132,7 +132,6 @@ class FileServer:
         self.rpc.register("fs.close", self._rpc_close)
         self.rpc.register("fs.read", self._rpc_read)
         self.rpc.register("fs.write", self._rpc_write)
-        self.rpc.register("fs.create", self._rpc_create)
         self.rpc.register("fs.remove", self._rpc_remove)
         self.rpc.register("fs.stat", self._rpc_stat)
         self.rpc.register("fs.payload_read", self._rpc_payload_read)
@@ -326,14 +325,6 @@ class FileServer:
         if request.writeback and entry.last_writer == request.client:
             entry.last_writer = None
         return request.nbytes
-
-    def _rpc_create(self, request: OpenRequest) -> Generator[Effect, None, int]:
-        self.lookups += 1
-        yield from self.cpu.consume(self.params.fs_name_lookup_cpu)
-        if request.path in self.files:
-            raise FileExists(request.path)
-        entry = self._create_entry(request.path)
-        return entry.handle_id
 
     def _rpc_remove(self, path: str) -> Generator[Effect, None, None]:
         entry = yield from self._lookup(path)

@@ -22,7 +22,7 @@ from typing import Deque, Dict, Optional, Tuple
 
 from collections import deque
 
-from ..config import KB, ClusterParams
+from ..config import KB
 from ..fs import PdevMaster
 from ..kernel import Host
 from ..sim import SimEvent

@@ -31,7 +31,7 @@ from ..fs import BackingFile, OpenMode
 from ..sim import Effect, Interrupted, Sleep, Task, spawn
 from . import signals as sig
 from .kernel import NoSuchProcess, ProcessKilled, SpriteKernel
-from .pcb import ExitStatus, Pcb, ProcState
+from .pcb import ExitStatus, Pcb
 from .syscalls import CallClass
 
 __all__ = ["UserContext", "Program", "ExitProcess"]

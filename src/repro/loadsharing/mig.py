@@ -9,7 +9,7 @@ target refuses, and releases hosts when the work completes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from ..config import KB

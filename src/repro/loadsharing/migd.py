@@ -15,7 +15,7 @@ is cheap because hosts re-announce within one availability period.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, Iterable, List, Optional, Sequence, Set
 
 from ..fs import OpenMode, PdevMaster

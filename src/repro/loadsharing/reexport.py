@@ -37,7 +37,9 @@ class ReExporter:
         by_home: Dict[int, List[MigrationRecord]] = {}
         for record in records:
             by_home.setdefault(record.target, []).append(record)
-        for home_address, home_records in by_home.items():
+        # sorted(): spawn order must not depend on dict insertion order,
+        # which here follows eviction completion order.
+        for home_address, home_records in sorted(by_home.items()):
             home = self.cluster.host_by_address(home_address)
             spawn(
                 self.cluster.sim,

@@ -9,7 +9,7 @@ one bucket width — plenty for shape comparisons.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 __all__ = ["LatencyHistogram"]
 

@@ -139,6 +139,7 @@ class Lan:
                 size=packet.size,
             )
         if not dst.inbox.try_put(packet):
+            # lint: disable=error-hierarchy(inbox overflow is a model invariant violation, not a simulated network failure)
             raise RuntimeError(f"inbox of {dst.name} is bounded and full")
 
     def transfer(self, src: int, dst: int, nbytes: int) -> Generator[Effect, None, None]:

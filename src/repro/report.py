@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pathlib
 from datetime import datetime, timezone
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 __all__ = ["collect_report", "EXPERIMENT_ORDER"]
 
@@ -61,6 +61,7 @@ def collect_report(
     Missing artifacts are listed rather than silently skipped, so a
     partial benchmark run is visible in the report.
     """
+    # lint: disable=determinism-wallclock(report header stamp is offline metadata, never sim-visible)
     stamp = stamp or datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%MZ")
     sections: List[str] = [HEADER.format(stamp=stamp)]
     missing: List[str] = []

@@ -19,7 +19,7 @@ Two consumers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, List, Sequence, Tuple
 
 import numpy as np

@@ -17,7 +17,7 @@ from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from ..config import KB, ClusterParams
+from ..config import KB
 from ..fs import OpenMode
 from ..kernel import UserContext
 from ..loadsharing import MigClient

@@ -10,7 +10,7 @@ the 12-way parallel compile.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional
 
 from ..config import KB

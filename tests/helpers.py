@@ -11,7 +11,7 @@ from typing import Generator, List
 from repro.config import ClusterParams
 from repro.fs import FileServer, FsClient, PdevRegistry, PrefixTable
 from repro.net import Lan, NetNode, RpcPort
-from repro.sim import Cpu, Simulator, run_until_complete, spawn
+from repro.sim import Cpu, Simulator, run_until_complete
 
 
 class FsHost:

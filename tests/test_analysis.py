@@ -1,0 +1,834 @@
+"""Tests for the AST invariant linter (``repro.analysis``).
+
+Each rule gets fixture snippets for the positive (finding), negative
+(clean) and pragma (suppressed) paths; the baseline path is covered via
+:class:`repro.analysis.Baseline`.  Live-tree tests assert the shipped
+tree is lint-clean and that an injected violation fails with a
+file:line finding.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis import Baseline, run_lint
+from repro.cli import main as cli_main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+# ----------------------------------------------------------------------
+# Fixture-tree helpers
+# ----------------------------------------------------------------------
+def make_tree(tmp_path, files):
+    """Write {relpath: source} under tmp_path and return the root."""
+    root = tmp_path / "tree"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def findings_of(tmp_path, files, rules):
+    root = make_tree(tmp_path, files)
+    return run_lint(root, rule_ids=rules).findings
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# determinism-wallclock
+# ----------------------------------------------------------------------
+def test_wallclock_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        },
+        ["determinism-wallclock"],
+    )
+    assert rule_ids(findings) == ["determinism-wallclock"]
+    assert findings[0].line == 4
+
+
+def test_wallclock_negative(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            def stamp(engine):
+                return engine.now
+            """
+        },
+        ["determinism-wallclock"],
+    )
+    assert findings == []
+
+
+def test_wallclock_pragma(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {
+            "mod.py": """\
+            import time
+
+            def stamp():
+                # lint: disable=determinism-wallclock(offline metadata)
+                return time.time()
+            """
+        },
+    )
+    result = run_lint(root, rule_ids=["determinism-wallclock"])
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# determinism-global-random
+# ----------------------------------------------------------------------
+def test_global_random_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            import random
+            from random import choice
+            import numpy as np
+
+            def roll():
+                return np.random.rand()
+            """
+        },
+        ["determinism-global-random"],
+    )
+    assert len(findings) == 3
+
+
+def test_global_random_negative(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            # a *relative* `from .random import` is the sim package's own
+            # substream module, not stdlib random
+            "pkg/__init__.py": "from .random import RandomStreams\n",
+            "pkg/random.py": "class RandomStreams:\n    pass\n",
+            "pkg/use.py": """\
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+            """,
+        },
+        ["determinism-global-random"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# determinism-rng-stream / determinism-stream-collision
+# ----------------------------------------------------------------------
+def test_rng_stream_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            def draw(rng, name):
+                return rng.stream(name).random()
+            """
+        },
+        ["determinism-rng-stream"],
+    )
+    assert rule_ids(findings) == ["determinism-rng-stream"]
+
+
+def test_rng_stream_negative_resolvable(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            STREAM = "mod.noise"
+
+            class Thing:
+                LOCAL = "mod.local"
+
+                def draw(self, rng, name="mod.default"):
+                    a = rng.stream("mod.literal")
+                    b = rng.stream(STREAM)
+                    c = rng.stream(self.LOCAL)
+                    d = rng.stream(name)
+                    return a, b, c, d
+            """
+        },
+        ["determinism-rng-stream"],
+    )
+    assert findings == []
+
+
+def test_stream_collision_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "one.py": "def f(rng):\n    return rng.stream('shared.noise')\n",
+            "two.py": "def g(rng):\n    return rng.stream('shared.noise')\n",
+        },
+        ["determinism-stream-collision"],
+    )
+    assert len(findings) == 2
+    assert {finding.rel for finding in findings} == {"one.py", "two.py"}
+
+
+def test_stream_collision_negative(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "one.py": "def f(rng):\n    return rng.stream('one.noise')\n",
+            "two.py": "def g(rng):\n    return rng.stream('two.noise')\n",
+        },
+        ["determinism-stream-collision"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# determinism-unordered-iter
+# ----------------------------------------------------------------------
+def test_unordered_iter_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            def flush(lan, inboxes):
+                for address in inboxes.keys():
+                    lan.send(address)
+            """
+        },
+        ["determinism-unordered-iter"],
+    )
+    assert rule_ids(findings) == ["determinism-unordered-iter"]
+    assert "send" in findings[0].message
+
+
+def test_unordered_iter_set_literal_yield(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            def gen(a, b):
+                for x in {a, b}:
+                    yield x
+            """
+        },
+        ["determinism-unordered-iter"],
+    )
+    assert rule_ids(findings) == ["determinism-unordered-iter"]
+
+
+def test_unordered_iter_negative(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            def flush(lan, inboxes, queue):
+                for address in sorted(inboxes.keys()):
+                    lan.send(address)
+                for item in queue:          # a list: ordered
+                    lan.send(item)
+                for name in inboxes.keys():  # no effect call in body
+                    print(name)
+            """
+        },
+        ["determinism-unordered-iter"],
+    )
+    assert findings == []
+
+
+def test_unordered_iter_pragma(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {
+            "mod.py": """\
+            def flush(lan, inboxes):
+                # lint: disable=determinism-unordered-iter(single-entry dict)
+                for address in inboxes.keys():
+                    lan.send(address)
+            """
+        },
+    )
+    result = run_lint(root, rule_ids=["determinism-unordered-iter"])
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# obs-unguarded-emit
+# ----------------------------------------------------------------------
+def test_unguarded_emit_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            class Manager:
+                def work(self):
+                    self.tracer.emit(1.0, "mgr", "work")
+            """
+        },
+        ["obs-unguarded-emit"],
+    )
+    assert rule_ids(findings) == ["obs-unguarded-emit"]
+
+
+def test_unguarded_emit_guarded_forms(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            class Manager:
+                def direct(self):
+                    if self.tracer.enabled:
+                        self.tracer.emit(1.0, "mgr", "direct")
+
+                def early_exit(self):
+                    if not self.tracer.enabled:
+                        return
+                    self.tracer.emit(1.0, "mgr", "early")
+
+                def none_check(self, root):
+                    if root is not None:
+                        self.spans.record(root, "none")
+
+                def short_circuit(self):
+                    self.tracer.enabled and self.tracer.emit(1.0, "m", "sc")
+            """
+        },
+        ["obs-unguarded-emit"],
+    )
+    assert findings == []
+
+
+def test_unguarded_emit_caller_pragma(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {
+            "mod.py": """\
+            class Manager:
+                def helper(self):
+                    # span-guard: caller
+                    self.spans.record(1.0, "mgr")
+            """
+        },
+    )
+    result = run_lint(root, rule_ids=["obs-unguarded-emit"])
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_unguarded_emit_window_false_negative_closed(tmp_path):
+    # The old regex tool accepted any line matching "is not None" within
+    # 5 lines above the emit, even when it guards something unrelated.
+    # The AST rule requires the guard to actually dominate the call.
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            class Manager:
+                def work(self, limit):
+                    if limit is not None:
+                        limit += 1
+                    self.tracer.emit(1.0, "mgr", "work")
+            """
+        },
+        ["obs-unguarded-emit"],
+    )
+    assert rule_ids(findings) == ["obs-unguarded-emit"]
+
+
+def test_unguarded_emit_exempt_dirs(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "obs/export.py": """\
+            def dump(tracer):
+                tracer.emit(1.0, "x", "y")
+            """,
+            "sim/trace.py": """\
+            def emit_all(tracer):
+                tracer.emit(1.0, "x", "y")
+            """,
+        },
+        ["obs-unguarded-emit"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# rpc rules
+# ----------------------------------------------------------------------
+_RPC_OK = """\
+class Service:
+    NAME = "svc.echo"
+
+    def install(self, rpc):
+        rpc.register(self.NAME, self._rpc_echo)
+
+    def _rpc_echo(self, args):
+        yield
+        return args
+
+    def use(self, rpc, dst):
+        return (yield from rpc.call(dst, "svc.echo", None))
+"""
+
+
+def test_rpc_conformance_negative(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {"svc.py": _RPC_OK},
+        [
+            "rpc-unregistered-service",
+            "rpc-unused-service",
+            "rpc-handler-not-generator",
+        ],
+    )
+    assert findings == []
+
+
+def test_rpc_unregistered_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "svc.py": """\
+            def use(rpc, dst):
+                return (yield from rpc.call(dst, "svc.missing", None))
+            """
+        },
+        ["rpc-unregistered-service"],
+    )
+    assert rule_ids(findings) == ["rpc-unregistered-service"]
+    assert "svc.missing" in findings[0].message
+
+
+def test_rpc_unused_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "svc.py": """\
+            class Service:
+                def install(self, rpc):
+                    rpc.register("svc.dead", self._rpc_dead)
+
+                def _rpc_dead(self, args):
+                    yield
+            """
+        },
+        ["rpc-unused-service"],
+    )
+    assert rule_ids(findings) == ["rpc-unused-service"]
+
+
+def test_rpc_handler_not_generator_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "svc.py": """\
+            class Service:
+                def install(self, rpc):
+                    rpc.register("svc.bad", self._rpc_bad)
+
+                def _rpc_bad(self, args):
+                    return args
+
+                def use(self, rpc, dst):
+                    return (yield from rpc.call(dst, "svc.bad", None))
+            """
+        },
+        ["rpc-handler-not-generator"],
+    )
+    assert rule_ids(findings) == ["rpc-handler-not-generator"]
+
+
+def test_rpc_forwarding_helper_resolution(tmp_path):
+    # A helper that forwards its own parameter into the service slot
+    # (like FsServer._callback) must have its call-site literals counted
+    # as calls, and its own body must not be flagged as unresolvable.
+    findings = findings_of(
+        tmp_path,
+        {
+            "server.py": """\
+            class Server:
+                def _callback(self, client, service, args):
+                    return (yield from self.rpc.call(client, service, args))
+
+                def notify(self, client):
+                    yield from self._callback(client, "cli.poke", None)
+            """,
+            "client.py": """\
+            class Client:
+                def install(self, rpc):
+                    rpc.register("cli.poke", self._rpc_poke)
+
+                def _rpc_poke(self, args):
+                    yield
+            """,
+        },
+        ["rpc-unregistered-service", "rpc-unused-service"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# txn rules
+# ----------------------------------------------------------------------
+_TXN_PY = """\
+TXN_STEPS = ("negotiated", "frozen", "committed")
+
+
+class MigrationTxn:
+    pass
+"""
+
+
+def test_txn_unknown_step_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "migration/txn.py": _TXN_PY,
+            "migration/mechanism.py": """\
+            def drive(txn):
+                txn.step("frozen")
+                txn.step("totally-bogus")
+            """,
+        },
+        ["txn-unknown-step"],
+    )
+    assert rule_ids(findings) == ["txn-unknown-step"]
+    assert "totally-bogus" in findings[0].message
+
+
+def test_txn_unknown_step_journal_helper(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "migration/txn.py": _TXN_PY,
+            "migration/mechanism.py": """\
+            class Mechanism:
+                def go(self, txn, epoch):
+                    self._journal_step(txn, epoch, "not-a-step")
+            """,
+        },
+        ["txn-unknown-step"],
+    )
+    assert rule_ids(findings) == ["txn-unknown-step"]
+
+
+def test_txn_unknown_step_negative(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "migration/txn.py": _TXN_PY,
+            "migration/mechanism.py": """\
+            def drive(txn):
+                txn.step("negotiated")
+                txn.did("frozen")
+            """,
+        },
+        ["txn-unknown-step"],
+    )
+    assert findings == []
+
+
+def test_txn_undo_coverage_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "migration/mechanism.py": """\
+            def do_step(txn, ticket):
+                txn.push_undo("ticket", ticket=ticket)
+                txn.push_undo("orphan", x=1)
+
+            def rollback(entry):
+                if entry.kind == "ticket":
+                    return "undo-ticket"
+                if entry.kind == "ghost":
+                    return "dead-arm"
+            """
+        },
+        ["txn-undo-coverage"],
+    )
+    assert sorted(rule_ids(findings)) == [
+        "txn-undo-coverage",
+        "txn-undo-coverage",
+    ]
+    messages = " ".join(finding.message for finding in findings)
+    assert "orphan" in messages and "ghost" in messages
+
+
+def test_txn_undo_coverage_negative(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "migration/mechanism.py": """\
+            def do_step(txn, ticket):
+                txn.push_undo("ticket", ticket=ticket)
+
+            def rollback(entry):
+                if entry.kind == "ticket":
+                    return "undo-ticket"
+            """
+        },
+        ["txn-undo-coverage"],
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# error-hierarchy
+# ----------------------------------------------------------------------
+_NET_ERRORS = """\
+class RpcError(Exception):
+    pass
+
+
+class HostDownError(RpcError):
+    pass
+"""
+
+_FS_ERRORS = """\
+class FsError(Exception):
+    pass
+"""
+
+
+def test_error_hierarchy_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "net/errors.py": _NET_ERRORS,
+            "fs/errors.py": _FS_ERRORS,
+            "net/lan.py": """\
+            def deliver(ok):
+                if not ok:
+                    raise RuntimeError("inbox full")
+            """,
+        },
+        ["error-hierarchy"],
+    )
+    assert rule_ids(findings) == ["error-hierarchy"]
+    assert "RuntimeError" in findings[0].message
+
+
+def test_error_hierarchy_negative(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "net/errors.py": _NET_ERRORS,
+            "fs/errors.py": _FS_ERRORS,
+            "migration/mechanism.py": """\
+            from ..net.errors import RpcError
+
+
+            class MigrationRefused(RpcError):
+                pass
+
+
+            def refuse(reason, flag):
+                if flag:
+                    raise ValueError("programmer error is allowed")
+                raise MigrationRefused(reason)
+            """,
+            "kernel/other.py": """\
+            def outside_scope():
+                raise RuntimeError("kernel/ is not in scope for this rule")
+            """,
+        },
+        ["error-hierarchy"],
+    )
+    assert findings == []
+
+
+def test_error_hierarchy_pragma(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {
+            "net/errors.py": _NET_ERRORS,
+            "fs/errors.py": _FS_ERRORS,
+            "net/lan.py": """\
+            def deliver(ok):
+                if not ok:
+                    # lint: disable=error-hierarchy(model invariant violation)
+                    raise RuntimeError("inbox full")
+            """,
+        },
+    )
+    result = run_lint(root, rule_ids=["error-hierarchy"])
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+def test_baseline_filters_known_findings(tmp_path):
+    files = {
+        "mod.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    }
+    root = make_tree(tmp_path, files)
+    first = run_lint(root, rule_ids=["determinism-wallclock"])
+    assert len(first.findings) == 1
+
+    baseline = Baseline.from_findings(first.findings)
+    second = run_lint(
+        root, rule_ids=["determinism-wallclock"], baseline=baseline
+    )
+    assert second.findings == []
+    assert second.baselined == 1
+
+
+def test_baseline_does_not_absorb_new_duplicates(tmp_path):
+    files = {
+        "mod.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    }
+    root = make_tree(tmp_path, files)
+    baseline = Baseline.from_findings(
+        run_lint(root, rule_ids=["determinism-wallclock"]).findings
+    )
+    # add a second, new violation: the baseline must not cover it
+    (root / "mod2.py").write_text(
+        "import time\n\ndef stamp2():\n    return time.time()\n"
+    )
+    result = run_lint(
+        root, rule_ids=["determinism-wallclock"], baseline=baseline
+    )
+    assert len(result.findings) == 1
+    assert result.findings[0].rel == "mod2.py"
+    assert result.baselined == 1
+
+
+def test_baseline_round_trips_through_json(tmp_path):
+    files = {"mod.py": "import time\nt = time.time()\n"}
+    root = make_tree(tmp_path, files)
+    findings = run_lint(root, rule_ids=["determinism-wallclock"]).findings
+    baseline = Baseline.from_findings(findings)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == baseline.entries
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_lint_fixture_tree_exit_codes(tmp_path, capsys):
+    root = make_tree(
+        tmp_path,
+        {"mod.py": "import time\n\ndef f():\n    return time.time()\n"},
+    )
+    code = cli_main(["lint", "--path", str(root)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "mod.py:4" in out
+    assert "[determinism-wallclock]" in out
+
+
+def test_cli_lint_rule_filter(tmp_path, capsys):
+    root = make_tree(
+        tmp_path,
+        {"mod.py": "import time\n\ndef f():\n    return time.time()\n"},
+    )
+    code = cli_main(
+        ["lint", "--path", str(root), "--rule", "obs-unguarded-emit"]
+    )
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_cli_lint_json_output(tmp_path, capsys):
+    root = make_tree(
+        tmp_path,
+        {"mod.py": "import time\n\ndef f():\n    return time.time()\n"},
+    )
+    code = cli_main(["lint", "--path", str(root), "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["findings"][0]["rule"] == "determinism-wallclock"
+    assert payload["findings"][0]["line"] == 4
+
+
+def test_cli_lint_unknown_rule(tmp_path, capsys):
+    code = cli_main(["lint", "--rule", "no-such-rule"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "no-such-rule" in err
+
+
+def test_cli_lint_list_rules(capsys):
+    code = cli_main(["lint", "--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule in (
+        "determinism-wallclock",
+        "obs-unguarded-emit",
+        "rpc-unregistered-service",
+        "txn-unknown-step",
+        "error-hierarchy",
+    ):
+        assert rule in out
+
+
+# ----------------------------------------------------------------------
+# live tree
+# ----------------------------------------------------------------------
+def test_live_tree_is_lint_clean(capsys):
+    code = cli_main(["lint"])
+    out = capsys.readouterr().out
+    assert code == 0, f"live tree has lint findings:\n{out}"
+
+
+def test_live_tree_injected_violation_fails(tmp_path, capsys):
+    # Copy the real tree, inject one wall-clock read into the kernel,
+    # and require a non-zero exit with a file:line finding.
+    copy = tmp_path / "repro"
+    shutil.copytree(SRC_REPRO, copy)
+    target = copy / "kernel" / "kernel.py"
+    target.write_text(
+        target.read_text()
+        + "\n\nimport time\n\n\ndef _injected():\n    return time.time()\n"
+    )
+    code = cli_main(["lint", "--path", str(copy)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "kernel/kernel.py" in out
+    assert "[determinism-wallclock]" in out
+
+
+def test_trace_guard_shim_cli():
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_trace_guards.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "trace guards ok" in proc.stdout

@@ -1,8 +1,6 @@
 """Tests for the baseline systems: rsh, Remote UNIX forwarding, Condor,
 and the placement-vs-migration scenario."""
 
-import pytest
-
 from repro import SpriteCluster
 from repro.baselines import (
     CondorJob,

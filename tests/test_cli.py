@@ -4,7 +4,7 @@ import pathlib
 
 import pytest
 
-from repro.cli import DEMOS, EXPERIMENTS, build_parser, cmd_info, cmd_list, main
+from repro.cli import DEMOS, EXPERIMENTS, build_parser, main
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import ClusterParams, SpriteCluster
-from repro.sim import Sleep, spawn
 
 
 def test_cluster_requires_hosts_and_servers():

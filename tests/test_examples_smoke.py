@@ -3,7 +3,6 @@
 import pathlib
 import runpy
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
 

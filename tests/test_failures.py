@@ -6,13 +6,11 @@ handler-sabotage style on purpose, as a regression test that raw RPC
 surgery still composes with the migration protocol.
 """
 
-import pytest
-
 from repro import SpriteCluster
 from repro.fs import OpenMode
 from repro.loadsharing import LoadSharingService
 from repro.migration import MigrationRefused
-from repro.net import NetworkPartitionedError, RpcError, RpcTimeout
+from repro.net import NetworkPartitionedError, RpcTimeout
 from repro.sim import Sleep, run_until_complete, spawn
 
 

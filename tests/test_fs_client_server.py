@@ -1,7 +1,5 @@
 """Integration tests: FS clients against a server over the LAN."""
 
-import pytest
-
 from repro.fs import FileNotFound, OpenMode
 from repro.fs.protocol import OpenRequest
 

@@ -1,7 +1,5 @@
 """Multi-server namespaces: prefix routing under migration and load."""
 
-import pytest
-
 from repro import SpriteCluster
 from repro.fs import OpenMode
 from repro.sim import Sleep, spawn

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.fs import BackingFile, OpenMode, PdevMaster
+from repro.fs import BackingFile, BadStream, OpenMode, PdevMaster
 from repro.sim import spawn
 
 from .helpers import MiniCluster
@@ -112,7 +112,7 @@ def test_backing_file_requires_create():
     backing = BackingFile(cluster.clients[0].fs, "/swap/x")
 
     def scenario():
-        with pytest.raises(RuntimeError):
+        with pytest.raises(BadStream):
             yield from backing.page_out(4096)
         return "ok"
 

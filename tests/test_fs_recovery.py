@@ -7,8 +7,6 @@ still hold it and re-flush), and consistency decisions after recovery
 match what a never-crashed server would decide.
 """
 
-import pytest
-
 from repro.fs import OpenMode
 from repro.net import RpcTimeout
 

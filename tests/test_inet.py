@@ -1,8 +1,6 @@
 """Tests for the Internet server: sockets, and their migration
 transparency (the [Che87] design the thesis relies on)."""
 
-import pytest
-
 from repro import SpriteCluster
 from repro.inet import InternetServer, SocketError, Sockets
 from repro.sim import Sleep, spawn

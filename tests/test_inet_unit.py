@@ -3,7 +3,7 @@
 import pytest
 
 from repro import SpriteCluster
-from repro.fs.pipes import PipeService, _PipeState
+from repro.fs.pipes import _PipeState
 from repro.inet import InternetServer, SocketError
 from repro.inet.server import _BLOCKED
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import SpriteCluster
-from repro.kernel import CALL_TABLE, UserContext, signals as sig
+from repro.kernel import CALL_TABLE, signals as sig
 from repro.loadsharing import LoadSharingService, ReExporter
 from repro.sim import Sleep, spawn
 from repro.workloads import Pmake, SourceTree

@@ -1,7 +1,5 @@
 """Unit tests of migd's selection policy as a pure state machine."""
 
-import pytest
-
 from repro import SpriteCluster
 from repro.loadsharing.migd import MigdServer
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro import SpriteCluster
 from repro.fs import OpenMode
-from repro.kernel import ProcState, signals as sig
+from repro.kernel import signals as sig
 from repro.migration import MigrationRefused
 from repro.sim import Sleep
 

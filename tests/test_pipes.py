@@ -1,7 +1,5 @@
 """Tests for pipes: blocking semantics and migration transparency."""
 
-import pytest
-
 from repro import SpriteCluster
 from repro.fs import PIPE_BUFFER_BYTES
 from repro.sim import Sleep, spawn

@@ -1,7 +1,5 @@
 """Tests for re-exporting evicted processes to fresh idle hosts."""
 
-import pytest
-
 from repro import SpriteCluster
 from repro.loadsharing import LoadSharingService, ReExporter
 from repro.sim import Sleep, spawn

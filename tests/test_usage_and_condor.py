@@ -1,7 +1,5 @@
 """Direct tests for the usage simulation and the Condor scheduler."""
 
-import pytest
-
 from repro import SpriteCluster
 from repro.baselines import CondorJob, CondorScheduler
 from repro.loadsharing import LoadSharingService

@@ -1,81 +1,41 @@
 #!/usr/bin/env python
 """Static check: every trace/span emission site must be guarded.
 
-The engine's zero-cost-when-disabled property (PR 1) only holds if no
-call site pays for tracing when it is off.  This script greps
-``src/repro`` for ``tracer.emit(``, ``spans.start(``, and
-``spans.record(`` calls and requires a guard — a line containing
-``enabled`` or an ``is not None`` test — within the few lines above the
-call (or on the call's own line).
+Thin shim over the AST rule ``obs-unguarded-emit`` in
+``repro.analysis`` (see ``docs/static-analysis.md``).  This used to be
+a standalone regex scan that accepted any line containing ``enabled``
+or ``is not None`` within 5 lines above an emission — which passed
+sites whose "guard" was unrelated (a false negative the AST rule
+closes: the guard must actually *dominate* the call in its enclosing
+function).
 
-Helpers whose *callers* hold the guard (e.g. a private method only
-invoked under ``if root is not None``) mark the site with a
-``# span-guard: caller`` comment.
-
-Exempt entirely:
-
-* ``src/repro/obs/`` — the observability implementation itself (its
-  emission into the flat tracer is guarded internally, and its whole
-  reason for existing is to make these calls);
-* ``src/repro/sim/trace.py`` — the tracer implementation.
-
-Exit status 0 when clean, 1 with a listing of unguarded sites.
+CLI and exit codes are unchanged so the existing CI step keeps working:
+0 when clean, 1 with a listing of unguarded sites.
 """
 
 from __future__ import annotations
 
 import pathlib
-import re
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-SRC = REPO_ROOT / "src" / "repro"
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-EMIT = re.compile(r"\b(?:tracer\.emit|spans\.start|spans\.record)\(")
-GUARD = re.compile(r"\benabled\b|\bis not None\b|span-guard:\s*caller")
-#: How many lines above a call site the guard may sit.
-WINDOW = 5
-
-EXEMPT_DIRS = ("obs",)
-EXEMPT_FILES = ("sim/trace.py",)
-
-
-def is_exempt(path: pathlib.Path) -> bool:
-    rel = path.relative_to(SRC).as_posix()
-    if rel in EXEMPT_FILES:
-        return True
-    return rel.split("/", 1)[0] in EXEMPT_DIRS
-
-
-def check_file(path: pathlib.Path) -> list:
-    violations = []
-    lines = path.read_text().splitlines()
-    for index, line in enumerate(lines):
-        if not EMIT.search(line):
-            continue
-        stripped = line.lstrip()
-        if stripped.startswith("#"):
-            continue
-        window = lines[max(0, index - WINDOW):index + 1]
-        if not any(GUARD.search(candidate) for candidate in window):
-            violations.append((path, index + 1, stripped))
-    return violations
+from repro.analysis import run_lint  # noqa: E402
 
 
 def main() -> int:
-    violations = []
-    for path in sorted(SRC.rglob("*.py")):
-        if is_exempt(path):
-            continue
-        violations.extend(check_file(path))
+    result = run_lint(rule_ids=["obs-unguarded-emit"])
+    violations = result.findings
     if violations:
         print("unguarded trace/span emission sites:")
-        for path, lineno, text in violations:
-            rel = path.relative_to(REPO_ROOT)
-            print(f"  {rel}:{lineno}: {text}")
+        for finding in violations:
+            rel = finding.path.relative_to(REPO_ROOT)
+            print(f"  {rel}:{finding.line}: {finding.snippet}")
         print(
-            f"\n{len(violations)} site(s) lack an 'enabled' / 'is not None' "
-            f"guard within {WINDOW} lines (see docs/observability.md)."
+            f"\n{len(violations)} site(s) are not dominated by an "
+            "'enabled' / 'is not None' guard (see docs/observability.md "
+            "and docs/static-analysis.md)."
         )
         return 1
     print("trace guards ok: every emission site is guarded")
