@@ -11,9 +11,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.metrics import Series, Table
+from repro.snapshot import forked_map
 from repro.workloads import ActivityModel, idle_fraction_by_hour
 
-from common import run_simulated
+from common import run_simulated, sweep_workers
 
 HOSTS = 40
 DAYS = 28
@@ -31,18 +32,26 @@ def build_artifacts():
     for hour, idle in enumerate(by_hour):
         figure.add_point("all days", hour, float(idle))
 
-    # Weekday vs weekend day-time comparison on raw intervals.
-    weekday_busy, weekend_busy = [], []
+    # Weekday vs weekend day-time comparison on raw intervals.  One
+    # forked sweep child per host (the model is seeded per host, so
+    # the index-ordered merge reproduces the sequential loop exactly).
     duration = DAYS * 86400.0
-    for index in range(HOSTS):
+
+    def host_busy(index: int):
         intervals = model.generate_intervals(index, duration)
+        weekday, weekend = [], []
         for day in range(DAYS):
             window = (day * 86400.0 + 9 * 3600.0, day * 86400.0 + 18 * 3600.0)
             frac = model.busy_fraction(intervals, window)
-            if day % 7 < 5:
-                weekday_busy.append(frac)
-            else:
-                weekend_busy.append(frac)
+            (weekday if day % 7 < 5 else weekend).append(frac)
+        return weekday, weekend
+
+    weekday_busy, weekend_busy = [], []
+    for weekday, weekend in forked_map(
+        host_busy, HOSTS, workers=sweep_workers()
+    ):
+        weekday_busy.extend(weekday)
+        weekend_busy.extend(weekend)
     table = Table(
         title="E9: availability summary",
         columns=["window", "mean idle fraction"],

@@ -14,8 +14,9 @@ from __future__ import annotations
 from repro import MB, ClusterParams, SpriteCluster
 from repro.metrics import Series, Table
 from repro.sim import Sleep, spawn
+from repro.snapshot import forked_map
 
-from common import run_simulated
+from common import run_simulated, sweep_workers
 
 BANDWIDTHS_MBPS = (1.25, 5.0, 20.0, 80.0)   # 10 Mb/s ... ~gigabit era
 VM_BYTES = 4 * MB
@@ -45,7 +46,8 @@ def migrate_at_bandwidth(policy: str, mbytes_per_second: float):
 
     spawn(cluster.sim, driver(), name="driver")
     cluster.run_until_complete(pcb.task)
-    return records[0]
+    # Scalar result only: this runs in a forked sweep child.
+    return records[0].freeze_time
 
 
 def build_artifacts():
@@ -62,19 +64,26 @@ def build_artifacts():
         notes="faster networks erode full-copy's penalty toward the "
               "state-packaging floor",
     )
+    cells = [
+        (policy, bandwidth)
+        for bandwidth in BANDWIDTHS_MBPS
+        for policy in ("flush-to-server", "full-copy")
+    ]
+    # One forked child per (policy, bandwidth) cell; deterministic
+    # index-ordered merge (repro.snapshot's sweep primitive).
+    freezes = forked_map(
+        lambda i: migrate_at_bandwidth(*cells[i]), len(cells),
+        workers=sweep_workers(),
+    )
+    by_cell = dict(zip(cells, freezes))
     results = {}
     for bandwidth in BANDWIDTHS_MBPS:
-        flush = migrate_at_bandwidth("flush-to-server", bandwidth)
-        full = migrate_at_bandwidth("full-copy", bandwidth)
+        flush = by_cell[("flush-to-server", bandwidth)]
+        full = by_cell[("full-copy", bandwidth)]
         results[bandwidth] = (flush, full)
-        figure.add_point("flush-to-server", bandwidth, flush.freeze_time)
-        figure.add_point("full-copy", bandwidth, full.freeze_time)
-        table.add_row(
-            bandwidth,
-            flush.freeze_time,
-            full.freeze_time,
-            full.freeze_time / flush.freeze_time,
-        )
+        figure.add_point("flush-to-server", bandwidth, flush)
+        figure.add_point("full-copy", bandwidth, full)
+        table.add_row(bandwidth, flush, full, full / flush)
     return figure, table, results
 
 
@@ -84,8 +93,8 @@ def test_s1_network_sweep(benchmark, archive):
     slow_flush, slow_full = results[BANDWIDTHS_MBPS[0]]
     fast_flush, fast_full = results[BANDWIDTHS_MBPS[-1]]
     # At Ethernet speed, full-copy freezes several times longer.
-    assert slow_full.freeze_time > 2.5 * slow_flush.freeze_time
+    assert slow_full > 2.5 * slow_flush
     # At high bandwidth the gap collapses (both near the state floor).
-    assert fast_full.freeze_time < 1.5 * fast_flush.freeze_time
+    assert fast_full < 1.5 * fast_flush
     # Everyone gets faster with bandwidth.
-    assert fast_full.freeze_time < slow_full.freeze_time / 10
+    assert fast_full < slow_full / 10

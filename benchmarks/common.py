@@ -3,10 +3,24 @@
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from typing import Any, Dict
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def sweep_workers(cap: int = 4) -> int:
+    """Worker count for forked sweep fan-out: the granted cores, capped.
+
+    Results are index-merged and deterministic for any value, so this
+    only changes wall time, never artifacts.
+    """
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    return max(1, min(cap, cores))
 
 
 def run_simulated(benchmark, fn):

@@ -16,6 +16,8 @@ AST, so a violating PR fails CI even when no test covers the new code:
   kinds are pushed and replayed symmetrically.
 * :mod:`.rules_errors` — ``net/``, ``fs/`` and ``migration/`` raise
   only through the unified error hierarchies.
+* :mod:`.rules_state` — no module-level mutable state (process-wide
+  counters/caches); per-cluster state lives in ``sim.state``.
 
 Run it as ``python -m repro lint``; see ``docs/static-analysis.md`` for
 the rule catalogue, the ``# lint: disable=RULE(reason)`` pragma, and
@@ -39,6 +41,7 @@ from . import rules_determinism  # noqa: F401
 from . import rules_errors  # noqa: F401
 from . import rules_observability  # noqa: F401
 from . import rules_rpc  # noqa: F401
+from . import rules_state  # noqa: F401
 from . import rules_txn  # noqa: F401
 
 __all__ = [

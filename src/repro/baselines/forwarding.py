@@ -140,7 +140,9 @@ class ForwardingProcess:
         return (yield from self._forward("gethostname"))
 
 
-_job_ids = itertools.count(1)
+#: Per-run job-id allocator name in ``sim.state`` (a module-level
+#: counter here would drift across clusters built in one process).
+_JOB_ID_COUNTER = "baselines.forwarding_job_ids"
 
 
 def remote_unix_run(
@@ -158,7 +160,8 @@ def remote_unix_run(
     """
     home = surrogate.host
     yield from home.lan.transfer(home.address, runner.address, image_bytes)
-    ctx = ForwardingProcess(home=home, runner=runner, job_id=next(_job_ids))
+    job_ids = home.sim.state.counter(_JOB_ID_COUNTER)
+    ctx = ForwardingProcess(home=home, runner=runner, job_id=next(job_ids))
     task = spawn(
         home.sim,
         program(ctx, *args),

@@ -53,6 +53,7 @@ EXPERIMENTS: Dict[str, str] = {
     "S1": "bench_network_sweep.py",
     "S2": "bench_assignment_caching.py",
     "P1": "bench_engine.py",
+    "P2": "bench_sweep.py",
     "P3": "bench_faults.py",
 }
 
@@ -283,7 +284,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     """Chaos runs + invariant audit (+ optional determinism check)."""
     import json
 
-    from .faults import run_chaos
+    from .faults import build_chaos_base, run_chaos
+    from .snapshot import SweepRunner
 
     seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
     if args.crash_matrix:
@@ -291,24 +293,28 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     reports = []
     failed = False
     for seed in seeds:
-        report = run_chaos(
-            seed=seed,
-            workstations=args.hosts,
-            duration=args.duration,
-            random_churn=args.churn,
-            mtbf=args.mtbf,
-            jobs=args.jobs,
-        )
-        reports.append(report)
-        if args.verify_determinism:
-            again = run_chaos(
-                seed=seed,
-                workstations=args.hosts,
+        # Build-and-warm once per seed; every run is a fork of that
+        # base (two forks when verifying determinism), fanned over
+        # --workers concurrent child processes.
+        base = build_chaos_base(seed=seed, workstations=args.hosts)
+        runs = 2 if args.verify_determinism else 1
+
+        def chaos_cell(cluster, _run_index):
+            return run_chaos(
                 duration=args.duration,
                 random_churn=args.churn,
                 mtbf=args.mtbf,
                 jobs=args.jobs,
+                base=cluster,
             )
+
+        pair = SweepRunner(base, workers=args.workers).run(
+            list(range(runs)), chaos_cell
+        )
+        report = pair[0]
+        reports.append(report)
+        if args.verify_determinism:
+            again = pair[1]
             if again.fingerprint != report.fingerprint:
                 failed = True
                 print(f"seed {seed}: NONDETERMINISTIC "
@@ -341,10 +347,14 @@ def _cmd_crash_matrix(args: argparse.Namespace, seeds: list) -> int:
     failed = False
     reports = []
     for seed in seeds:
-        report = run_matrix(seed=seed, max_cells=args.cells)
+        report = run_matrix(
+            seed=seed, max_cells=args.cells, workers=args.workers
+        )
         reports.append(report)
         if args.verify_determinism:
-            again = run_matrix(seed=seed, max_cells=args.cells)
+            again = run_matrix(
+                seed=seed, max_cells=args.cells, workers=args.workers
+            )
             if again.fingerprint != report.fingerprint:
                 failed = True
                 print(f"seed {seed}: NONDETERMINISTIC "
@@ -456,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --crash-matrix: bound the run to an "
                             "evenly-spread subset of this many cells "
                             "(default: all 88)")
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="concurrent copy-on-write forked workers for "
+                            "chaos runs and crash-matrix cells; "
+                            "fingerprints are identical for any value")
     chaos.add_argument("--json", action="store_true",
                        help="machine-readable report on stdout")
     lint = sub.add_parser(

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Union
 
 from .config import KB, ClusterParams
-from .fs import FileServer, PrefixTable, reset_stream_ids
+from .fs import FileServer, PrefixTable
 from .fs.pipes import PipeService
 from .kernel import Host, Program, SpriteKernel
 from .migration import EvictionDaemon, MigrationManager, VmPolicy
@@ -83,10 +83,6 @@ class SpriteCluster:
         if cpu_speeds is not None and len(cpu_speeds) != workstations:
             raise ValueError("cpu_speeds must have one entry per workstation")
         self.params = params or ClusterParams(seed=seed)
-        # Stream ids are cluster-local; restart the allocator so a fixed
-        # seed reproduces identical ids (and traces) regardless of what
-        # this process built before.
-        reset_stream_ids()
         self.sim = Simulator()
         self.tracer = Tracer(enabled=trace)
         self.rng = RandomStreams(seed=self.params.seed if params else seed)
@@ -237,3 +233,17 @@ class SpriteCluster:
 
     def total_cpu_seconds(self) -> float:
         return sum(host.cpu.total_demand for host in self.hosts)
+
+    # ------------------------------------------------------------------
+    # Snapshot / fork
+    # ------------------------------------------------------------------
+    def snapshot(self, **extras: Any):
+        """Capture this (fully built, not yet run) cluster as a
+        :class:`~repro.snapshot.Snapshot`; ``snapshot().fork()`` yields
+        independent copies.  Companion objects passed as keyword
+        arguments (e.g. ``service=...``) are captured in the same
+        pickle and come back as ``fork.extras[name]``.  See
+        ``docs/snapshots.md``."""
+        from .snapshot import Snapshot
+
+        return Snapshot.capture(self, extras=extras or None)

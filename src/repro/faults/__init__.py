@@ -26,12 +26,19 @@ Everything is zero-cost when absent: a cluster with no injector runs
 the exact same instruction path as before this package existed.
 """
 
-from .chaos import ChaosReport, builtin_plan, run_chaos, trace_fingerprint
+from .chaos import (
+    ChaosReport,
+    build_chaos_base,
+    builtin_plan,
+    run_chaos,
+    trace_fingerprint,
+)
 from .crashmatrix import (
     MATRIX_KINDS,
     MATRIX_VICTIMS,
     CellResult,
     MatrixReport,
+    build_matrix_base,
     matrix_cells,
     run_cell,
     run_matrix,
@@ -56,6 +63,8 @@ __all__ = [
     "LinkState",
     "MatrixReport",
     "Violation",
+    "build_chaos_base",
+    "build_matrix_base",
     "builtin_plan",
     "matrix_cells",
     "run_cell",

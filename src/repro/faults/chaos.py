@@ -22,11 +22,18 @@ from ..fs import OpenMode
 from ..kernel import ProcState
 from ..loadsharing import LoadSharingService
 from ..sim import Sleep, spawn
+from ..snapshot import Snapshot
 from .injector import FaultInjector
 from .invariants import InvariantChecker
 from .plan import FaultPlan
 
-__all__ = ["ChaosReport", "run_chaos", "trace_fingerprint", "builtin_plan"]
+__all__ = [
+    "ChaosReport",
+    "build_chaos_base",
+    "run_chaos",
+    "trace_fingerprint",
+    "builtin_plan",
+]
 
 
 def trace_fingerprint(tracer) -> str:
@@ -120,6 +127,21 @@ def _chaos_job(proc, index: int, work: float):
     return 0
 
 
+def build_chaos_base(seed: int = 0, workstations: int = 5) -> Snapshot:
+    """Build-and-warm the chaos cluster once, captured for forking.
+
+    The returned :class:`~repro.snapshot.Snapshot` carries the traced
+    cluster *and* its centralized load-sharing service (as the
+    ``service`` extra, so a fork's selectors still point at the fork's
+    own hosts).  ``run_chaos(base=...)`` accepts the snapshot or any
+    fork of it; every fork replays byte-identically.
+    """
+    cluster = SpriteCluster(workstations=workstations, seed=seed, trace=True)
+    cluster.standard_images()
+    service = LoadSharingService(cluster, architecture="centralized")
+    return cluster.snapshot(service=service)
+
+
 def run_chaos(
     seed: int = 0,
     workstations: int = 5,
@@ -131,11 +153,27 @@ def run_chaos(
     job_length: float = 8.0,
     detect_delay: Optional[float] = None,
     drain: Optional[float] = None,
+    base: Optional[object] = None,
 ) -> ChaosReport:
-    """One full chaos experiment; see the module docstring."""
-    cluster = SpriteCluster(workstations=workstations, seed=seed, trace=True)
-    cluster.standard_images()
-    service = LoadSharingService(cluster, architecture="centralized")
+    """One full chaos experiment; see the module docstring.
+
+    ``base`` skips the build-and-warm prefix: pass the
+    :class:`~repro.snapshot.Snapshot` from :func:`build_chaos_base`
+    (forked internally) or an already-forked cluster from it.  The
+    report's ``seed``/``workstations`` then come from the base cluster
+    itself, so the caller can't mislabel a run.
+    """
+    if base is None:
+        cluster = SpriteCluster(
+            workstations=workstations, seed=seed, trace=True
+        )
+        cluster.standard_images()
+        service = LoadSharingService(cluster, architecture="centralized")
+    else:
+        cluster = base.fork() if isinstance(base, Snapshot) else base
+        service = cluster.extras["service"]
+        seed = cluster.params.seed
+        workstations = len(cluster.hosts)
     if plan is None:
         if random_churn:
             plan = FaultPlan.random(

@@ -44,6 +44,7 @@ from ..cluster import SpriteCluster
 from ..fs import OpenMode
 from ..migration import TXN_STEPS, MigrationAbandoned, MigrationRefused
 from ..sim import Effect, Sleep, spawn
+from ..snapshot import SweepRunner
 from .injector import FaultInjector
 from .invariants import InvariantChecker
 from .chaos import trace_fingerprint
@@ -53,6 +54,7 @@ __all__ = [
     "MATRIX_KINDS",
     "CellResult",
     "MatrixReport",
+    "build_matrix_base",
     "matrix_cells",
     "run_cell",
     "run_matrix",
@@ -194,14 +196,33 @@ def _victim_program(proc, scratch: str):
             yield from proc.compute(0.5)
 
 
+def build_matrix_base(seed: int = 0) -> SpriteCluster:
+    """The shared per-cell prefix: three traced workstations + images.
+
+    Built once per matrix and handed to :class:`SweepRunner`, which
+    forks one copy-on-write child per cell — a child starts from an
+    image identical to a fresh build, so cell traces (and the matrix
+    fingerprint) are the same either way.
+    """
+    cluster = SpriteCluster(workstations=3, seed=seed, trace=True)
+    cluster.standard_images()
+    return cluster
+
+
 def run_cell(
     step: str,
     victim: str,
     kind: str,
     seed: int = 0,
     horizon: float = CELL_HORIZON,
+    cluster: Optional[SpriteCluster] = None,
 ) -> CellResult:
-    """Run one matrix cell on a fresh cluster; see the module docstring."""
+    """Run one matrix cell; see the module docstring.
+
+    ``cluster`` is an optional pre-built (never run) base — normally a
+    fork handed in by :func:`run_matrix`; when omitted the cell builds
+    its own via :func:`build_matrix_base`.
+    """
     if step not in TXN_STEPS:
         raise ValueError(f"unknown txn step {step!r}")
     if victim not in MATRIX_VICTIMS:
@@ -210,8 +231,8 @@ def run_cell(
         raise ValueError(f"unknown fault kind {kind!r}")
 
     result = CellResult(step=step, victim=victim, kind=kind)
-    cluster = SpriteCluster(workstations=3, seed=seed, trace=True)
-    cluster.standard_images()
+    if cluster is None:
+        cluster = build_matrix_base(seed)
     injector = FaultInjector(cluster)
     checker = InvariantChecker(cluster, injector)
     home, source, target = cluster.hosts[0], cluster.hosts[1], cluster.hosts[2]
@@ -302,12 +323,19 @@ def run_matrix(
     cells: Optional[Sequence[Tuple[str, str, str]]] = None,
     max_cells: Optional[int] = None,
     horizon: float = CELL_HORIZON,
+    workers: int = 1,
 ) -> MatrixReport:
     """Run the matrix (or a bounded, evenly-spread subset of it).
 
     ``max_cells`` keeps CI smoke runs cheap without losing coverage
     breadth: it picks every k-th cell of the full ordering, so all
     victims and fault kinds stay represented.
+
+    The per-cell cluster prefix is built **once** and every cell runs
+    in a copy-on-write fork of it, up to ``workers`` concurrently
+    (:class:`~repro.snapshot.SweepRunner`); results merge in cell
+    order, so :attr:`MatrixReport.fingerprint` is byte-identical for
+    any ``workers`` value.
     """
     if cells is None:
         cells = matrix_cells()
@@ -317,8 +345,13 @@ def run_matrix(
         indices = sorted({(i * total) // max_cells for i in range(max_cells)})
         cells = [cells[i] for i in indices]
     report = MatrixReport(seed=seed)
-    for step, victim, kind in cells:
-        report.cells.append(
-            run_cell(step, victim, kind, seed=seed, horizon=horizon)
+
+    def cell_fn(cluster: SpriteCluster, cell: Tuple[str, str, str]) -> CellResult:
+        step, victim, kind = cell
+        return run_cell(
+            step, victim, kind, seed=seed, horizon=horizon, cluster=cluster
         )
+
+    runner = SweepRunner(build_matrix_base(seed), workers=workers)
+    report.cells = runner.run(cells, cell_fn)
     return report

@@ -92,7 +92,7 @@ LoadSharingService` (or anything with ``.migd``); without it the migd
             return self
         self._started = True
         if self.plan is not None and len(self.plan):
-            spawn(self.cluster.sim, self._drive(), name="fault-injector",
+            spawn(self.cluster.sim, self._drive, name="fault-injector",
                   daemon=True)
         return self
 

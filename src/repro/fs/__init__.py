@@ -26,7 +26,7 @@ from .pipes import PIPE_BUFFER_BYTES, PipeService
 from .prefix import PrefixTable
 from .protocol import OpenMode
 from .server import FileServer, ServerFile
-from .streams import Stream, reset_stream_ids
+from .streams import STREAM_ID_COUNTER, Stream
 
 __all__ = [
     "AccessError",
@@ -48,7 +48,7 @@ __all__ = [
     "PipeBrokenError",
     "PipeService",
     "PrefixTable",
+    "STREAM_ID_COUNTER",
     "ServerFile",
     "Stream",
-    "reset_stream_ids",
 ]

@@ -30,7 +30,7 @@ from .protocol import (
     PdevRequest,
     StreamMove,
 )
-from .streams import Stream
+from .streams import STREAM_ID_COUNTER, Stream
 
 __all__ = ["FsClient"]
 
@@ -69,11 +69,14 @@ class FsClient:
         self._path_handles: Dict[str, int] = {}
         #: stream_id -> open stream held by this client (for recovery).
         self.open_streams: Dict[int, Stream] = {}
+        #: Cluster-wide stream-id allocator, shared by every client of
+        #: this simulator through the run's state registry.
+        self._stream_ids = sim.state.counter(STREAM_ID_COUNTER)
         self._register_callbacks()
         if start_writeback_daemon:
             spawn(
                 sim,
-                self._writeback_daemon(),
+                self._writeback_daemon,
                 name=f"writeback:{node.name}",
                 daemon=True,
             )
@@ -169,6 +172,7 @@ class FsClient:
             is_pdev=result.is_pdev,
             pdev_host=result.pdev_host,
             pdev_id=result.pdev_id,
+            stream_id=next(self._stream_ids),
         )
         self._servers_by_handle[result.handle_id] = server
         self._path_handles[path] = result.handle_id
@@ -232,11 +236,13 @@ class FsClient:
             path=f"<pipe:{pipe_id}:r>", mode=OpenMode.READ, handle_id=0,
             server=server, cacheable=False,
             is_pipe=True, pipe_id=pipe_id, pipe_end="read",
+            stream_id=next(self._stream_ids),
         )
         write_stream = Stream(
             path=f"<pipe:{pipe_id}:w>", mode=OpenMode.WRITE, handle_id=0,
             server=server, cacheable=False,
             is_pipe=True, pipe_id=pipe_id, pipe_end="write",
+            stream_id=next(self._stream_ids),
         )
         self.open_streams[read_stream.stream_id] = read_stream
         self.open_streams[write_stream.stream_id] = write_stream

@@ -10,24 +10,20 @@ one stream across hosts, the offset moves to the I/O server and
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .protocol import OpenMode
 
-__all__ = ["Stream", "reset_stream_ids"]
+__all__ = ["Stream", "STREAM_ID_COUNTER"]
 
-_stream_ids = itertools.count(1)
-
-
-def reset_stream_ids() -> None:
-    """Restart stream-id allocation (stream ids are only meaningful
-    within one cluster).  ``SpriteCluster`` calls this at construction
-    so a fixed seed yields identical ids — and therefore byte-identical
-    traces — no matter how many clusters the process built before."""
-    global _stream_ids
-    _stream_ids = itertools.count(1)
+#: Name of the per-cluster stream-id allocator in ``sim.state``.
+#: Stream ids are only meaningful within one cluster; allocating them
+#: from the run's :class:`~repro.sim.StateRegistry` (rather than a
+#: module-level counter, as before PR 6) means a fixed seed yields
+#: identical ids no matter how many clusters the process built, and a
+#: snapshot carries the allocator along with everything else.
+STREAM_ID_COUNTER = "fs.stream_ids"
 
 
 @dataclass
@@ -56,7 +52,9 @@ class Stream:
     is_pipe: bool = False
     pipe_id: int = -1
     pipe_end: str = ""              # "read" or "write"
-    stream_id: int = field(default_factory=lambda: next(_stream_ids))
+    #: Cluster-unique id, allocated by the creating FsClient from
+    #: ``sim.state.counter(STREAM_ID_COUNTER)``.
+    stream_id: int = -1
     #: Bytes written through this stream that are still delayed-write
     #: dirty (approximate; used for close bookkeeping).
     dirty_bytes: int = 0

@@ -24,6 +24,7 @@ charges the new host.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..config import KB, ClusterParams
@@ -97,9 +98,11 @@ class UserContext:
     # ------------------------------------------------------------------
     def start(self, program: Program, args: Tuple[Any, ...] = ()) -> Task:
         """Spawn the task that runs ``program`` under this context."""
+        # partial (not a closure) so a not-yet-started process pickles
+        # into a snapshot whenever ``program`` itself does.
         task = spawn(
             self.sim,
-            self._run(program, args),
+            partial(self._run, program, args),
             name=f"proc:{self.pcb.pid}:{self.pcb.name}",
             daemon=False,
         )

@@ -22,7 +22,7 @@ from ..kernel import Host
 from ..obs.spans import SpanTracer
 from ..sim import Effect
 
-__all__ = ["SelectorMetrics", "HostSelector", "install_accept_hooks"]
+__all__ = ["AcceptPolicy", "SelectorMetrics", "HostSelector", "install_accept_hooks"]
 
 
 @dataclass
@@ -98,22 +98,34 @@ def install_accept_hooks(cluster, max_foreign: Optional[int] = 1) -> None:
     """
     for host in cluster.hosts:
         manager = cluster.managers[host.address]
+        manager.accept_hook = AcceptPolicy(host, manager, max_foreign)
 
-        def hook(args, host=host, manager=manager):
-            if host.input_idle_seconds() < host.params.idle_input_threshold:
-                return False   # the owner is (or just was) at the console
-            if max_foreign is not None:
-                # Count guests already here AND accepted-but-in-flight:
-                # this is the flood-prevention window — concurrent
-                # requesters racing on the same stale snapshot must not
-                # all land here ([BSW89]).
-                committed = (
-                    len(host.kernel.foreign_pcbs()) + manager.pending_arrivals
-                )
-                if committed >= max_foreign:
-                    return False
-            manager.note_incoming()
-            host.loadavg.anticipate_arrivals(1)
-            return True
 
-        manager.accept_hook = hook
+class AcceptPolicy:
+    """The thesis's acceptance criterion as a picklable callable (a
+    closure here would make the cluster unsnapshotable)."""
+
+    __slots__ = ("host", "manager", "max_foreign")
+
+    def __init__(self, host, manager, max_foreign: Optional[int]):
+        self.host = host
+        self.manager = manager
+        self.max_foreign = max_foreign
+
+    def __call__(self, args) -> bool:
+        host, manager = self.host, self.manager
+        if host.input_idle_seconds() < host.params.idle_input_threshold:
+            return False   # the owner is (or just was) at the console
+        if self.max_foreign is not None:
+            # Count guests already here AND accepted-but-in-flight:
+            # this is the flood-prevention window — concurrent
+            # requesters racing on the same stale snapshot must not
+            # all land here ([BSW89]).
+            committed = (
+                len(host.kernel.foreign_pcbs()) + manager.pending_arrivals
+            )
+            if committed >= self.max_foreign:
+                return False
+        manager.note_incoming()
+        host.loadavg.anticipate_arrivals(1)
+        return True

@@ -59,19 +59,23 @@ class MigdServer:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Register the pdev name and launch the server process."""
-        def register_and_serve(proc):
-            # Register /hosts/migd -> this host in the shared namespace.
-            yield from proc.kernel.rpc.call(
-                proc.kernel.fs.prefixes.route(MIGD_PATH),
-                "fs.register_pdev",
-                (MIGD_PATH, self.home.address, self.master.pdev_id),
-            )
-            while True:
-                request = yield self.master.next_request()
-                reply = self._handle(request.message, request.client_host)
-                request.respond(reply, size=128)
+        self.pcb, _ctx = self.home.spawn_process(
+            self._register_and_serve, name="migd"
+        )
 
-        self.pcb, _ctx = self.home.spawn_process(register_and_serve, name="migd")
+    def _register_and_serve(self, proc):
+        """The server program (a bound method, so an armed-but-unstarted
+        migd survives snapshot/fork)."""
+        # Register /hosts/migd -> this host in the shared namespace.
+        yield from proc.kernel.rpc.call(
+            proc.kernel.fs.prefixes.route(MIGD_PATH),
+            "fs.register_pdev",
+            (MIGD_PATH, self.home.address, self.master.pdev_id),
+        )
+        while True:
+            request = yield self.master.next_request()
+            reply = self._handle(request.message, request.client_host)
+            request.respond(reply, size=128)
 
     def stop(self) -> None:
         """Crash the server (fault injection): kill the process and
@@ -200,7 +204,7 @@ class AvailabilityNotifier:
         if start:
             spawn(
                 host.sim,
-                self._loop(),
+                self._loop,
                 name=f"availd:{host.name}",
                 daemon=True,
             )

@@ -45,7 +45,7 @@ class SharedFileBoard:
     def __init__(self, host: Host, start: bool = True):
         self.host = host
         if start:
-            spawn(host.sim, self._loop(), name=f"board:{host.name}", daemon=True)
+            spawn(host.sim, self._loop, name=f"board:{host.name}", daemon=True)
 
     def _loop(self) -> Generator[Effect, None, None]:
         period = self.host.params.availability_period
@@ -159,7 +159,7 @@ class ProbabilisticSelector(HostSelector):
         host.rpc.register(self.GOSSIP_SERVICE, self._rpc_gossip)
         if start_daemon:
             spawn(
-                host.sim, self._gossip_loop(), name=f"gossip:{host.name}", daemon=True
+                host.sim, self._gossip_loop, name=f"gossip:{host.name}", daemon=True
             )
 
     def _rpc_gossip(self, args) -> Generator[Effect, None, None]:
@@ -242,6 +242,34 @@ class ProbabilisticSelector(HostSelector):
 # ----------------------------------------------------------------------
 # Multicast (§6.3.4, V)
 # ----------------------------------------------------------------------
+class _QueryFallback:
+    """Picklable RPC-fallback chain link for :class:`MulticastSelector`.
+
+    A closure here would make the host unsnapshotable; this tiny object
+    carries the same two references (the selector and whatever fallback
+    was installed before it) explicitly.
+    """
+
+    __slots__ = ("selector", "previous")
+
+    def __init__(self, selector: "MulticastSelector", previous) -> None:
+        self.selector = selector
+        self.previous = previous
+
+    def __call__(self, packet: Packet) -> None:
+        selector = self.selector
+        if packet.kind == selector.QUERY_KIND:
+            host = selector.host
+            spawn(
+                host.sim,
+                selector._answer_query(packet),
+                name=f"sel-answer:{host.name}",
+                daemon=True,
+            )
+        elif self.previous is not None:
+            self.previous(packet)
+
+
 class MulticastSelector(HostSelector):
     """Stateless: broadcast the request, take the first responders."""
 
@@ -255,20 +283,7 @@ class MulticastSelector(HostSelector):
         self._offers: Optional[Channel] = None
         self.queries_answered = 0
         host.rpc.register(self.OFFER_SERVICE, self._rpc_offer)
-        previous_fallback = host.rpc.fallback
-
-        def fallback(packet: Packet) -> None:
-            if packet.kind == self.QUERY_KIND:
-                spawn(
-                    host.sim,
-                    self._answer_query(packet),
-                    name=f"sel-answer:{host.name}",
-                    daemon=True,
-                )
-            elif previous_fallback is not None:
-                previous_fallback(packet)
-
-        host.rpc.fallback = fallback
+        host.rpc.fallback = _QueryFallback(self, host.rpc.fallback)
 
     # -- responder side ------------------------------------------------
     def _answer_query(self, packet: Packet) -> Generator[Effect, None, None]:

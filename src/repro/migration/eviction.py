@@ -63,7 +63,7 @@ class EvictionDaemon:
         if start:
             spawn(
                 self.host.sim,
-                self._watch(),
+                self._watch,
                 name=f"evictiond:{self.host.name}",
                 daemon=True,
             )

@@ -50,7 +50,7 @@ from ..kernel import (
 )
 from ..net import NetworkPartitionedError, Reply, RpcError, RpcTimeout
 from ..obs.spans import Span, SpanTracer
-from ..sim import Effect, SimEvent, Sleep, Tracer, first, spawn
+from ..sim import Effect, SimClock, SimEvent, Sleep, Tracer, first, spawn
 from .txn import MigrationJournal, MigrationTxn, TxnState
 from .vm import FlushToServer, VmOutcome, VmPolicy, make_policy
 
@@ -174,7 +174,7 @@ class MigrationManager:
         self.journal = MigrationJournal(
             host.name, enabled=host.params.migration_txn_journal
         )
-        self.journal.bind_clock(lambda: self.host.sim.now)
+        self.journal.bind_clock(SimClock(host.sim))
         #: Target-side lease registry: (pid, ticket_id) -> lease.
         self._tickets: Dict[Tuple[int, int], TicketLease] = {}
         self._ticket_seq = 0

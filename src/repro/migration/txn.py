@@ -169,6 +169,12 @@ class MigrationTxn:
             self.journal.forget(self)
 
 
+def _zero_clock() -> float:
+    """Default journal clock before a simulator is bound (picklable,
+    unlike the ``lambda: 0.0`` it replaced)."""
+    return 0.0
+
+
 class MigrationJournal:
     """Per-host migration write-ahead journal.
 
@@ -197,7 +203,7 @@ class MigrationJournal:
         self.committed = 0
         self.aborted = 0
         self.recovered = 0
-        self._now: Callable[[], float] = lambda: 0.0
+        self._now: Callable[[], float] = _zero_clock
 
     # ------------------------------------------------------------------
     def bind_clock(self, now: Callable[[], float]) -> None:

@@ -117,7 +117,7 @@ class RpcPort:
         #: Cluster-wide span tracer (disabled by default).
         self.spans = SpanTracer.for_tracer(self.tracer)
         self._server_task = spawn(
-            sim, self._serve(), name=f"rpc-server:{node.name}", daemon=True
+            sim, self._serve, name=f"rpc-server:{node.name}", daemon=True
         )
 
     # ------------------------------------------------------------------

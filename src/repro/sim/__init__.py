@@ -8,16 +8,18 @@ round-robin CPU model (:mod:`.resources`), named random substreams
 """
 
 from .channels import Channel
-from .engine import EventHandle, Simulator
+from .engine import EventHandle, SimClock, Simulator
 from .errors import (
     ChannelClosed,
     Interrupted,
     SimError,
     SimulationDeadlock,
+    SnapshotError,
     TaskFailed,
 )
 from .random import RandomStreams
 from .resources import Cpu, Resource
+from .state import Cell, Counter, StateRegistry
 from .tasks import (
     TIMED_OUT,
     Effect,
@@ -33,19 +35,24 @@ from .tasks import (
 from .trace import TraceRecord, Tracer
 
 __all__ = [
+    "Cell",
     "Channel",
     "ChannelClosed",
+    "Counter",
     "Cpu",
     "Effect",
     "EventHandle",
     "Interrupted",
     "RandomStreams",
     "Resource",
+    "SimClock",
     "SimError",
     "SimEvent",
     "SimulationDeadlock",
     "Simulator",
     "Sleep",
+    "SnapshotError",
+    "StateRegistry",
     "Task",
     "TaskFailed",
     "TIMED_OUT",

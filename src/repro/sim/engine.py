@@ -38,8 +38,9 @@ from collections import deque
 from typing import Any, Callable, Deque, Iterable, List, Optional, Tuple
 
 from .errors import SimulationDeadlock
+from .state import StateRegistry
 
-__all__ = ["Simulator", "EventHandle"]
+__all__ = ["SimClock", "Simulator", "EventHandle"]
 
 #: Compaction is pointless below this heap size; above it, a heap more
 #: than half full of cancelled corpses is rebuilt.
@@ -105,6 +106,23 @@ class _ReadyHandle(EventHandle):
             sim._ready_cancelled += 1
 
 
+class SimClock:
+    """A picklable callable reading one simulator's current time.
+
+    Components that need a clock handle (e.g. the migration journal)
+    hold one of these instead of a ``lambda: sim.now`` closure, which
+    a snapshot could not serialize.
+    """
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+
+    def __call__(self) -> float:
+        return self.sim.now
+
+
 class Simulator:
     """An event-driven clock.
 
@@ -125,6 +143,7 @@ class Simulator:
         "heap_compactions",
         "failures",
         "live_tasks",
+        "state",
     )
 
     def __init__(self) -> None:
@@ -152,6 +171,10 @@ class Simulator:
         #: Number of live (unfinished) tasks; maintained by tasks.py so
         #: that :meth:`run` can detect deadlock.
         self.live_tasks: int = 0
+        #: Run-scoped mutable state (id allocators etc.); see
+        #: :mod:`repro.sim.state`.  Snapshots capture it with the rest
+        #: of the simulator.
+        self.state = StateRegistry()
 
     # ------------------------------------------------------------------
     # Scheduling

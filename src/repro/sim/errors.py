@@ -40,3 +40,12 @@ class TaskFailed(SimError):
 
 class ChannelClosed(SimError):
     """Raised on ``put`` to, or ``get`` from, a closed and drained channel."""
+
+
+class SnapshotError(SimError):
+    """Raised when run state cannot be captured by ``repro.snapshot``.
+
+    The message names the offending object (typically a task whose
+    generator has already started, or one spawned from a bare generator
+    with no restart factory) and how to make it snapshotable.
+    """

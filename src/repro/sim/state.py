@@ -1,0 +1,123 @@
+"""Per-run mutable state registry.
+
+Every piece of mutable state that belongs to *one simulated run* — id
+allocators, sequence counters, scratch cells — must live on the run's
+:class:`StateRegistry` (reachable as ``sim.state``) rather than at
+module level.  Module-level state leaks across clusters built in the
+same process (PR 4 had to reset the stream-id counter by hand to keep
+crash-matrix traces byte-identical) and is invisible to
+:mod:`repro.snapshot`, which can only capture what hangs off the
+cluster object graph.  The ``module-state`` lint rule
+(:mod:`repro.analysis.rules_state`) enforces this discipline
+statically.
+
+Usage::
+
+    ids = sim.state.counter("fs.stream_ids")   # get-or-create
+    stream_id = next(ids)
+
+Registry entries are keyed by dotted names namespaced per subsystem
+(``fs.*``, ``baselines.*``, ...); asking twice for the same name
+returns the same object, so independent components share one allocator
+simply by naming it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["Cell", "Counter", "StateRegistry"]
+
+
+class Counter:
+    """A picklable, restartable integer allocator (replaces
+    ``itertools.count`` for id allocation: same protocol, but its value
+    is inspectable and survives snapshot/fork)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, start: int = 1):
+        self.name = name
+        self.value = start
+
+    def __iter__(self) -> "Counter":
+        return self
+
+    def __next__(self) -> int:
+        value = self.value
+        self.value += 1
+        return value
+
+    def peek(self) -> int:
+        """The id the next ``next()`` will hand out."""
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name} next={self.value}>"
+
+
+class Cell:
+    """A named box around one mutable value (scalar or container)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Any = None):
+        self.name = name
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<Cell {self.name} value={self.value!r}>"
+
+
+class StateRegistry:
+    """All run-scoped mutable state, by name; one per :class:`Simulator`.
+
+    The registry is deliberately dumb — a dict of named
+    :class:`Counter`/:class:`Cell` entries — so that pickling the
+    simulator captures every registered piece of state with no
+    per-subsystem special cases.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Any] = {}
+
+    def counter(self, name: str, start: int = 1) -> Counter:
+        """Get-or-create the named counter (``start`` applies on create)."""
+        entry = self._entries.get(name)
+        if entry is None:
+            entry = Counter(name, start=start)
+            self._entries[name] = entry
+        elif not isinstance(entry, Counter):
+            raise TypeError(
+                f"state entry {name!r} is {type(entry).__name__}, not Counter"
+            )
+        return entry
+
+    def cell(self, name: str, value: Any = None) -> Cell:
+        """Get-or-create the named cell (``value`` applies on create)."""
+        entry = self._entries.get(name)
+        if entry is None:
+            entry = Cell(name, value=value)
+            self._entries[name] = entry
+        elif not isinstance(entry, Cell):
+            raise TypeError(
+                f"state entry {name!r} is {type(entry).__name__}, not Cell"
+            )
+        return entry
+
+    def get(self, name: str) -> Any:
+        return self._entries[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"<StateRegistry {self.names()}>"

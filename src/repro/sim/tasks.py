@@ -23,10 +23,11 @@ deterministic for a fixed seed.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional
+import inspect
+from typing import Any, Callable, Generator, List, Optional
 
 from .engine import EventHandle, Simulator
-from .errors import Interrupted, SimError, TaskFailed
+from .errors import Interrupted, SimError, SnapshotError, TaskFailed
 
 __all__ = [
     "Effect",
@@ -207,7 +208,7 @@ class Task(_Waiter):
     """
 
     __slots__ = (
-        "sim", "name", "daemon", "_gen", "_pending", "_joiners",
+        "sim", "name", "daemon", "_gen", "_factory", "_pending", "_joiners",
         "done", "result", "exception", "_interrupt_pending",
     )
 
@@ -217,6 +218,7 @@ class Task(_Waiter):
         gen: TaskGen,
         name: str = "task",
         daemon: bool = False,
+        factory: Optional[Callable[[], TaskGen]] = None,
     ):
         if not hasattr(gen, "send"):
             raise TypeError(
@@ -227,6 +229,12 @@ class Task(_Waiter):
         self.name = name
         self.daemon = daemon
         self._gen = gen
+        #: Zero-argument callable that recreates ``gen`` from scratch.
+        #: A task whose generator has not started yet and that carries a
+        #: factory can be serialized by ``repro.snapshot`` — the
+        #: generator itself cannot be pickled, but "call the factory
+        #: again on restore" is equivalent for an unstarted task.
+        self._factory = factory
         self._pending: Optional[Effect] = None
         self._joiners: List[_Waiter] = []
         self.done = False
@@ -239,6 +247,39 @@ class Task(_Waiter):
     def __repr__(self) -> str:
         state = "done" if self.done else ("waiting" if self._pending else "ready")
         return f"<Task {self.name} {state}>"
+
+    # -- snapshot support ------------------------------------------------
+    def __getstate__(self) -> dict:
+        if not self.done:
+            if not inspect.isgenerator(self._gen):
+                raise SnapshotError(
+                    f"task {self.name!r} wraps a non-generator coroutine "
+                    f"({type(self._gen).__name__}); it cannot be snapshot"
+                )
+            if inspect.getgeneratorstate(self._gen) != "GEN_CREATED":
+                raise SnapshotError(
+                    f"task {self.name!r} has already started running; only "
+                    "unstarted (or finished) tasks can be snapshot — take "
+                    "the snapshot before driving the simulator"
+                )
+            if self._factory is None:
+                raise SnapshotError(
+                    f"task {self.name!r} was spawned from a bare generator; "
+                    "spawn it from a coroutine function (spawn(sim, fn) "
+                    "instead of spawn(sim, fn())) so a snapshot can rebuild "
+                    "the generator"
+                )
+        state = {slot: getattr(self, slot) for slot in Task.__slots__}
+        # Generators never pickle; the factory stands in for an unstarted
+        # one and a finished task's generator is already closed.
+        state["_gen"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        if not self.done:
+            self._gen = self._factory()
 
     # -- waiter protocol -------------------------------------------------
     def _resume(self, value: Any) -> None:
@@ -387,9 +428,25 @@ class Task(_Waiter):
         return True
 
 
-def spawn(sim: Simulator, gen: TaskGen, name: str = "task", daemon: bool = False) -> Task:
-    """Create and start a task (sugar for the :class:`Task` constructor)."""
-    return Task(sim, gen, name=name, daemon=daemon)
+def spawn(
+    sim: Simulator,
+    gen: Any,
+    name: str = "task",
+    daemon: bool = False,
+) -> Task:
+    """Create and start a task (sugar for the :class:`Task` constructor).
+
+    ``gen`` is either an already-created generator (the classic form) or
+    a zero-argument coroutine *function*, which is called here and kept
+    as the task's restart factory.  Prefer the function form for daemons
+    that exist before the simulator first runs: it is what lets
+    ``repro.snapshot`` capture and rebuild them.
+    """
+    factory = None
+    if callable(gen) and not hasattr(gen, "send"):
+        factory = gen
+        gen = gen()
+    return Task(sim, gen, name=name, daemon=daemon, factory=factory)
 
 
 def run_until_complete(sim: Simulator, gen_or_task: Any, name: str = "main") -> Any:

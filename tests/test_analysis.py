@@ -679,6 +679,98 @@ def test_error_hierarchy_pragma(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# state-module-mutable
+# ----------------------------------------------------------------------
+def test_module_state_counter_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "fs/streams.py": """\
+            import itertools
+
+            _stream_ids = itertools.count(1)
+            """
+        },
+        ["state-module-mutable"],
+    )
+    assert rule_ids(findings) == ["state-module-mutable"]
+    assert findings[0].line == 3
+    assert "sim.state.counter" in findings[0].message
+
+
+def test_module_state_mutable_container_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            _cache = {}
+            pending: list = []
+            """
+        },
+        ["state-module-mutable"],
+    )
+    assert rule_ids(findings) == ["state-module-mutable"] * 2
+    assert [f.line for f in findings] == [1, 2]
+
+
+def test_module_state_global_statement_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            _total = 0
+
+            def bump():
+                global _total
+                _total += 1
+            """
+        },
+        ["state-module-mutable"],
+    )
+    assert rule_ids(findings) == ["state-module-mutable"]
+    assert "global _total" in findings[0].message
+
+
+def test_module_state_negative(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mod.py": """\
+            __all__ = ["Widget", "SIZES"]
+
+            SIZES = {"small": 1, "large": 2}
+            NAMES = sorted(SIZES)
+            LIMIT = 16
+
+            class Widget:
+                registry = {}
+
+                def __init__(self, sim):
+                    self._ids = sim.state.counter("widget.ids")
+                    self.cache = {}
+            """
+        },
+        ["state-module-mutable"],
+    )
+    assert findings == []
+
+
+def test_module_state_pragma(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {
+            "mod.py": """\
+            # lint: disable=state-module-mutable(deliberate process registry)
+            _registry = {}
+            """
+        },
+    )
+    result = run_lint(root, rule_ids=["state-module-mutable"])
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ----------------------------------------------------------------------
 # baseline
 # ----------------------------------------------------------------------
 def test_baseline_filters_known_findings(tmp_path):
