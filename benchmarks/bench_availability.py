@@ -11,7 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.metrics import Series, Table
-from repro.snapshot import forked_map
+from repro.obs import MetricsRegistry
+from repro.snapshot import forked_map_metrics
 from repro.workloads import ActivityModel, idle_fraction_by_hour
 
 from common import run_simulated, sweep_workers
@@ -39,17 +40,24 @@ def build_artifacts():
 
     def host_busy(index: int):
         intervals = model.generate_intervals(index, duration)
+        registry = MetricsRegistry()
         weekday, weekend = [], []
         for day in range(DAYS):
             window = (day * 86400.0 + 9 * 3600.0, day * 86400.0 + 18 * 3600.0)
             frac = model.busy_fraction(intervals, window)
-            (weekday if day % 7 < 5 else weekend).append(frac)
-        return weekday, weekend
+            if day % 7 < 5:
+                weekday.append(frac)
+                registry.timer("busy.weekday", index).observe(frac)
+            else:
+                weekend.append(frac)
+                registry.timer("busy.weekend", index).observe(frac)
+        return (weekday, weekend), registry
 
     weekday_busy, weekend_busy = [], []
-    for weekday, weekend in forked_map(
+    pairs, metrics = forked_map_metrics(
         host_busy, HOSTS, workers=sweep_workers()
-    ):
+    )
+    for weekday, weekend in pairs:
         weekday_busy.extend(weekday)
         weekend_busy.extend(weekend)
     table = Table(
@@ -62,6 +70,13 @@ def build_artifacts():
     table.add_row("night (22-7h)", night_idle)
     table.add_row("weekday working hours", 1.0 - float(np.mean(weekday_busy)))
     table.add_row("weekend working hours", 1.0 - float(np.mean(weekend_busy)))
+    weekday_hist = metrics.merged_timer("busy.weekday")
+    weekend_hist = metrics.merged_timer("busy.weekend")
+    table.notes = (
+        f"sweep aggregate over {HOSTS} hosts: "
+        f"{weekday_hist.count} weekday / {weekend_hist.count} weekend "
+        f"day-samples; p95 weekday busy {weekday_hist.percentile(95):.3f}"
+    )
     return figure, table, day_idle, night_idle
 
 

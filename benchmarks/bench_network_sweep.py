@@ -13,8 +13,9 @@ from __future__ import annotations
 
 from repro import MB, ClusterParams, SpriteCluster
 from repro.metrics import Series, Table
+from repro.obs import ClusterObservability
 from repro.sim import Sleep, spawn
-from repro.snapshot import forked_map
+from repro.snapshot import forked_map_metrics
 
 from common import run_simulated, sweep_workers
 
@@ -28,6 +29,7 @@ def migrate_at_bandwidth(policy: str, mbytes_per_second: float):
     cluster = SpriteCluster(
         workstations=2, start_daemons=False, params=params, vm_policy=policy
     )
+    obs = ClusterObservability.install(cluster, spans=False)
     a, b = cluster.hosts[0], cluster.hosts[1]
 
     def job(proc):
@@ -46,8 +48,9 @@ def migrate_at_bandwidth(policy: str, mbytes_per_second: float):
 
     spawn(cluster.sim, driver(), name="driver")
     cluster.run_until_complete(pcb.task)
-    # Scalar result only: this runs in a forked sweep child.
-    return records[0].freeze_time
+    # The scalar plus the cell's metrics registry cross the pipe; the
+    # parent folds the registries in cell order (forked_map_metrics).
+    return records[0].freeze_time, obs.registry
 
 
 def build_artifacts():
@@ -70,8 +73,9 @@ def build_artifacts():
         for policy in ("flush-to-server", "full-copy")
     ]
     # One forked child per (policy, bandwidth) cell; deterministic
-    # index-ordered merge (repro.snapshot's sweep primitive).
-    freezes = forked_map(
+    # index-ordered merge (repro.snapshot's sweep primitive), including
+    # the merged per-cell metrics registries.
+    freezes, metrics = forked_map_metrics(
         lambda i: migrate_at_bandwidth(*cells[i]), len(cells),
         workers=sweep_workers(),
     )
@@ -84,6 +88,12 @@ def build_artifacts():
         figure.add_point("flush-to-server", bandwidth, flush)
         figure.add_point("full-copy", bandwidth, full)
         table.add_row(bandwidth, flush, full, full / flush)
+    total = metrics.merged_timer("mig.total").summary()
+    table.notes += (
+        f"; sweep aggregate: {metrics.total('mig.completed')} migrations, "
+        f"{metrics.total('mig.vm_bytes') / MB:.1f} MB of VM shipped, "
+        f"median total {total['p50']:.4f}s"
+    )
     return figure, table, results
 
 

@@ -13,8 +13,9 @@ from __future__ import annotations
 from repro import MB, SpriteCluster
 from repro.metrics import Series, Table
 from repro.migration import POLICIES
+from repro.obs import ClusterObservability
 from repro.sim import Sleep, spawn
-from repro.snapshot import forked_map
+from repro.snapshot import forked_map_metrics
 
 from common import run_simulated, sweep_workers
 
@@ -27,6 +28,7 @@ def migrate_with_policy(policy_name: str, vm_mb: int):
     cluster = SpriteCluster(
         workstations=2, start_daemons=False, vm_policy=policy_name
     )
+    obs = ClusterObservability.install(cluster, spans=False)
     a, b = cluster.hosts[0], cluster.hosts[1]
     vm_bytes = vm_mb * MB
 
@@ -48,13 +50,15 @@ def migrate_with_policy(policy_name: str, vm_mb: int):
     spawn(cluster.sim, driver(), name="driver")
     cluster.run_until_complete(pcb.task)
     record = records[0]
-    # Only the scalars the figure/table need cross the child's pipe.
+    # The scalars the figure/table need, plus the cell's full metrics
+    # registry — both cross the child's pipe; the parent merges the
+    # registries in cell order (forked_map_metrics).
     return {
         "freeze_time": record.freeze_time,
         "bytes_total": record.vm.bytes_total,
         "rounds": record.vm.rounds,
         "residual_dependency": record.vm.residual_dependency,
-    }
+    }, obs.registry
 
 
 def build_artifacts():
@@ -75,8 +79,10 @@ def build_artifacts():
     ]
     # Each cell migrates on its own fresh cluster in a forked child
     # (repro.snapshot's sweep primitive); index-ordered merge keeps the
-    # artifacts byte-identical to the old sequential loop.
-    results = forked_map(
+    # artifacts byte-identical to the old sequential loop.  Each cell
+    # also ships its metrics registry back through the result pipe;
+    # the merged aggregate is fingerprint-stable for any worker count.
+    results, metrics = forked_map_metrics(
         lambda i: migrate_with_policy(*cells[i]), len(cells),
         workers=sweep_workers(),
     )
@@ -93,6 +99,13 @@ def build_artifacts():
             record["rounds"],
             "yes" if record["residual_dependency"] else "no",
         )
+    freeze = metrics.merged_timer("mig.freeze").summary()
+    table.notes = (
+        f"sweep aggregate over {len(cells)} cells: "
+        f"{metrics.total('mig.completed')} migrations, "
+        f"{metrics.total('mig.vm_bytes') / MB:.1f} MB of VM shipped, "
+        f"median freeze {freeze['p50']:.4f}s / p99 {freeze['p99']:.4f}s"
+    )
     return figure, table, last
 
 

@@ -29,8 +29,11 @@ from .core import (
     ModuleInfo,
     Rule,
     Tree,
+    call_args,
     dotted_name,
+    enclosing_function,
     register_rule,
+    resolve_str_arg,
 )
 
 #: method names whose call sites need a guard (matched on attribute
@@ -190,4 +193,172 @@ def _early_exit_before(suite: List[ast.stmt], node: ast.AST) -> bool:
     return False
 
 
+class SpanCatalogueRule(Rule):
+    """Span names must come from the registered catalogue.
+
+    Critical-path attribution (:mod:`repro.obs.critpath`) and the
+    migration breakdowns key on exact span-name strings; a site that
+    invents (or typos) a name silently drops out of every analysis.
+    This rule requires the ``name`` argument at each
+    ``spans.start(...)`` / ``spans.record(...)`` call site to resolve
+    to a member of :data:`repro.obs.spans.SPAN_CATALOGUE` — either as
+    a resolvable string (literal / constant / parameter default) whose
+    value is catalogued, or as a reference to one of the catalogue's
+    own constants (``MIG_FREEZE``, ``RPC_CALL``, …).
+
+    Wrapper functions that forward a ``name`` parameter (e.g. the
+    migration mechanism's ``_phase``/``_step`` helpers) are handled by
+    chasing same-module callers one level: the wrapper is clean when
+    every caller passes a catalogued name.
+    """
+
+    id = "obs-span-catalogue"
+    description = (
+        "span names at spans.start/spans.record sites must resolve to "
+        "a repro.obs.spans.SPAN_CATALOGUE member (constant or literal)."
+    )
+
+    def __init__(self) -> None:
+        from ..obs import spans as spans_module
+
+        self._catalogue = frozenset(spans_module.SPAN_CATALOGUE)
+        #: constant name -> value, for sites that pass the constant.
+        self._constants = {
+            name: value
+            for name, value in vars(spans_module).items()
+            if isinstance(value, str) and value in self._catalogue
+        }
+
+    def check(self, tree: Tree) -> Iterable[Finding]:
+        for module in tree.parsed():
+            head = module.rel.split("/", 1)[0]
+            if head == "obs":
+                continue  # the layer's own implementation
+            assert module.tree is not None
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not _is_span_name_site(node):
+                    continue
+                problem = self._check_site(module, node)
+                if problem is not None:
+                    yield module.finding(self.id, node, problem)
+
+    # ------------------------------------------------------------------
+    def _check_site(
+        self, module: ModuleInfo, call: ast.Call, chase: bool = True
+    ) -> Optional[str]:
+        """None when the site's name argument is catalogued, else the
+        finding message."""
+        args, kwargs = call_args(call)
+        name_node = kwargs.get("name") if "name" in kwargs else (
+            args[0] if args else None
+        )
+        if name_node is None:
+            return "span call without a name argument"
+        return self._check_name_node(module, call, name_node, chase)
+
+    def _check_name_node(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        name_node: ast.AST,
+        chase: bool,
+    ) -> Optional[str]:
+        # A direct reference to a catalogue constant (imported name or
+        # ``spans_module.MIG_FREEZE``-style attribute).
+        symbol = None
+        if isinstance(name_node, ast.Name):
+            symbol = name_node.id
+        elif isinstance(name_node, ast.Attribute):
+            symbol = name_node.attr
+        if symbol is not None and symbol in self._constants:
+            return None
+        # A resolvable string (literal, module/class constant, literal
+        # parameter default) whose value is catalogued.
+        value = resolve_str_arg(module, call, name_node)
+        if value is not None:
+            if value in self._catalogue:
+                return None
+            return (
+                f"span name {value!r} is not in repro.obs.spans."
+                "SPAN_CATALOGUE; register it there (and import the "
+                "constant) instead of inlining the string"
+            )
+        # A forwarded parameter of the enclosing wrapper function:
+        # clean iff every same-module caller passes a catalogued name.
+        if chase and isinstance(name_node, ast.Name):
+            verdict = self._check_forwarded(module, call, name_node.id)
+            if verdict is not None:
+                return verdict or None
+        return (
+            f"span name argument `{ast.dump(name_node) if symbol is None else symbol}` "
+            "cannot be resolved to a SPAN_CATALOGUE member"
+        )
+
+    def _check_forwarded(
+        self, module: ModuleInfo, call: ast.Call, param: str
+    ) -> Optional[str]:
+        """Check a name forwarded through the enclosing function's
+        parameter.  Returns None when this isn't a forwarding situation
+        (fall through to the unresolvable message), "" when every
+        caller is clean, or a finding message."""
+        func = enclosing_function(module, call)
+        if func is None:
+            return None
+        params = [a.arg for a in func.args.posonlyargs + func.args.args]
+        if param not in params:
+            return None
+        index = params.index(param)
+        skip_self = bool(params) and params[0] in ("self", "cls")
+        callers = _callers_of(module, func.name)
+        if not callers:
+            return None
+        for caller in callers:
+            args, kwargs = call_args(caller)
+            if param in kwargs:
+                arg_node: Optional[ast.AST] = kwargs[param]
+            else:
+                position = index - (1 if skip_self else 0)
+                arg_node = args[position] if position < len(args) else None
+            if arg_node is None:
+                return (
+                    f"caller at line {caller.lineno} does not pass "
+                    f"`{param}` positionally or by keyword"
+                )
+            problem = self._check_name_node(module, caller, arg_node, False)
+            if problem is not None:
+                return (
+                    f"forwarded via `{func.name}({param}=...)`: {problem} "
+                    f"(caller at line {caller.lineno})"
+                )
+        return ""
+
+
+def _is_span_name_site(call: ast.Call) -> bool:
+    """``<...>.spans.start(...)`` / ``<...>.spans.record(...)`` sites —
+    the subset of emit sites where the first argument is a span name."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in (
+        "start", "record"
+    ):
+        return False
+    receiver = dotted_name(func.value)
+    return receiver.rsplit(".", 1)[-1] == "spans"
+
+
+def _callers_of(module: ModuleInfo, func_name: str) -> List[ast.Call]:
+    assert module.tree is not None
+    callers = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            target = node.func
+            if isinstance(target, ast.Attribute) and target.attr == func_name:
+                callers.append(node)
+            elif isinstance(target, ast.Name) and target.id == func_name:
+                callers.append(node)
+    return callers
+
+
 register_rule(UnguardedEmitRule())
+register_rule(SpanCatalogueRule())

@@ -128,24 +128,29 @@ class _CaptureClusters:
     cluster a traced workload builds comes up with observability
     installed (spans + tracer on, metrics hooks attached)."""
 
-    def __init__(self, sample_period: Optional[float] = None):
+    def __init__(self, sample_period: Optional[float] = None,
+                 profile: bool = False):
         self.sample_period = sample_period
+        self.profile = profile
         self.captured: list = []
 
     def __enter__(self) -> "_CaptureClusters":
         from .cluster import SpriteCluster
-        from .obs import ClusterObservability
+        from .obs import ClusterObservability, EngineProfiler
 
         self._original = SpriteCluster.__init__
         original = self._original
         captured = self.captured
         period = self.sample_period
+        profile = self.profile
 
         def patched(cluster, *cargs, **ckwargs):
             original(cluster, *cargs, **ckwargs)
             obs = ClusterObservability.install(
                 cluster, spans=True, trace=True, sample_period=period
             )
+            if profile:
+                EngineProfiler().install(cluster.sim)
             captured.append((cluster, obs))
 
         SpriteCluster.__init__ = patched
@@ -238,15 +243,33 @@ def cmd_trace(args: argparse.Namespace) -> int:
              for s in obs.spans.finished]
 
     # Filters ----------------------------------------------------------
+    # A filter that matches nothing is almost always a typo (wrong host
+    # name, misspelled span prefix); fail loudly instead of exporting an
+    # empty trace that looks like a successful run.
     if args.kinds:
         wanted = {k.strip() for k in args.kinds.split(",") if k.strip()}
         records = [r for r in records if r.kind in wanted]
+        if not records:
+            print(f"error: --kinds {args.kinds!r} matched no trace records "
+                  f"(captured kinds differ); nothing to export",
+                  file=sys.stderr)
+            return 1
     if args.host:
         records = [r for r in records if args.host in r.source]
         spans = [s for s in spans if args.host in s.source]
+        if not records and not spans:
+            print(f"error: --host {args.host!r} matched no records or spans "
+                  f"(no source contains it); nothing to export",
+                  file=sys.stderr)
+            return 1
     if args.span:
         prefixes = tuple(p.strip() for p in args.span.split(",") if p.strip())
         spans = [s for s in spans if s.name.startswith(prefixes)]
+        if not spans:
+            print(f"error: --span {args.span!r} matched no spans "
+                  f"(check the prefixes against docs/observability.md); "
+                  f"nothing to export", file=sys.stderr)
+            return 1
 
     # Artifacts --------------------------------------------------------
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -278,6 +301,73 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print(f"wrote trace.jsonl, trace_chrome.json, metrics.json, summary.txt "
           f"to {out_dir}/")
     return 0
+
+
+def cmd_critpath(args: argparse.Namespace) -> int:
+    """Causal critical-path analysis of a traced workload."""
+    from .obs import critpath_report
+
+    capture = _CaptureClusters(profile=args.profile)
+    with capture:
+        if args.target == "migration":
+            _trace_builtin_migration()
+        else:
+            examples = _find_dir("examples")
+            if examples is None:
+                print("error: examples/ not found (run from a source "
+                      "checkout)", file=sys.stderr)
+                return 2
+            runpy.run_path(str(examples / DEMOS[args.target]),
+                           run_name="__main__")
+    if not capture.captured:
+        print("error: the workload never built a SpriteCluster; nothing "
+              "to analyze", file=sys.stderr)
+        return 1
+    spans = [s for _cluster, obs in capture.captured
+             for s in obs.spans.finished]
+    report = critpath_report(spans, limit=args.limit)
+    if args.profile:
+        from .obs import EngineProfiler
+
+        merged = EngineProfiler()
+        for cluster, _obs in capture.captured:
+            profiler = cluster.sim.profiler
+            if profiler is not None:
+                merged.merge_from(profiler)
+        report += "\n\n" + merged.render()
+    print(report)
+    if args.out:
+        out_path = pathlib.Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(report + "\n")
+        print(f"\nwrote {out_path}", file=sys.stderr)
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Longitudinal perf ledger: run benches, append to BENCH_history.json."""
+    import importlib.util
+
+    tools = _find_dir("tools")
+    if tools is None or not (tools / "perf_ledger.py").is_file():
+        print("error: tools/perf_ledger.py not found (run from a source "
+              "checkout)", file=sys.stderr)
+        return 2
+    spec = importlib.util.spec_from_file_location(
+        "perf_ledger", tools / "perf_ledger.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    argv = []
+    if args.smoke:
+        argv.append("--smoke")
+    if args.history:
+        argv.extend(["--history", args.history])
+    if args.slowdown is not None:
+        argv.extend(["--slowdown", str(args.slowdown)])
+    if args.no_gate:
+        argv.append("--no-gate")
+    return module.main(argv)
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -437,6 +527,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="metrics sampling period in sim seconds "
                             "(off by default: a sampler keeps the event "
                             "queue non-empty)")
+    critpath = sub.add_parser(
+        "critpath",
+        help="causal critical-path analysis: per-migration latency "
+             "attribution and the whole-run critical path",
+    )
+    critpath.add_argument(
+        "target",
+        choices=["migration"] + sorted(DEMOS),
+        help="'migration' (builtin fixed scenario) or a demo",
+    )
+    critpath.add_argument("--out", default=None,
+                          help="also write the report to this file")
+    critpath.add_argument("--limit", type=int, default=40,
+                          help="max critical-path segments to print")
+    critpath.add_argument("--profile", action="store_true",
+                          help="attach the engine hot-spot profiler and "
+                               "append its per-subsystem event report")
+    perf = sub.add_parser(
+        "perf",
+        help="run benchmarks, append results to the BENCH_history.json "
+             "perf ledger, and gate on regressions",
+    )
+    perf.add_argument("--smoke", action="store_true",
+                      help="small workloads (CI mode); entries are "
+                           "recorded under mode=smoke")
+    perf.add_argument("--history", default=None,
+                      help="ledger path (default BENCH_history.json at "
+                           "the repo root)")
+    perf.add_argument("--slowdown", type=float, default=None,
+                      help="regression gate: fail when a throughput "
+                           "metric drops below best-known/slowdown "
+                           "(default 2.0)")
+    perf.add_argument("--no-gate", action="store_true",
+                      help="append the entry but skip the regression gate")
     chaos = sub.add_parser(
         "chaos",
         help="fault-injection runs with an invariant audit",
@@ -492,6 +616,8 @@ def main(argv: Optional[list] = None) -> int:
         "experiment": cmd_experiment,
         "report": cmd_report,
         "trace": cmd_trace,
+        "critpath": cmd_critpath,
+        "perf": cmd_perf,
         "chaos": cmd_chaos,
         "lint": cmd_lint,
     }

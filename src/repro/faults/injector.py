@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set
 
 from ..kernel import Host
-from ..obs import SpanTracer
+from ..obs import FAULT_OUTAGE, SpanTracer
 from ..sim import Effect, Sleep, spawn
 from .fabric import LinkFabric
 from .plan import FaultAction, FaultPlan
@@ -170,7 +170,7 @@ LoadSharingService` (or anything with ``.migd``); without it the migd
         self.crashed_hosts.add(host.address)
         if self.spans.enabled:
             self._outage_spans[host.address] = self.spans.start(
-                "fault.outage", f"host:{host.name}", t=self.cluster.sim.now,
+                FAULT_OUTAGE, f"host:{host.name}", t=self.cluster.sim.now,
                 address=host.address,
             )
         self._emit("host_crash", host=host.name, address=host.address,

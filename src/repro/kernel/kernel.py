@@ -25,6 +25,7 @@ from typing import Any, Dict, Generator, List, Optional
 from ..config import ClusterParams
 from ..fs import FsClient, PdevRegistry
 from ..net import Lan, NetNode, RpcError, RpcPort
+from ..obs.spans import KERNEL_FORWARD
 from ..sim import Cpu, Effect, SimEvent, Simulator, Sleep, Tracer
 from . import signals as sig
 from .pcb import ExitStatus, Pcb, ProcState, Vm
@@ -488,7 +489,7 @@ class SpriteKernel:
         )
         if spans.enabled:
             spans.record(
-                "kernel.forward",
+                KERNEL_FORWARD,
                 f"kern:{self.node.name}",
                 started,
                 self.sim.now,

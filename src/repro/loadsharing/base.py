@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Iterable, List, Optional, Sequence
 
 from ..kernel import Host
-from ..obs.spans import SpanTracer
+from ..obs.spans import SELECT_REQUEST, SpanTracer
 from ..sim import Effect
 
 __all__ = ["AcceptPolicy", "SelectorMetrics", "HostSelector", "install_accept_hooks"]
@@ -74,7 +74,7 @@ class HostSelector:
         spans = self.spans
         if spans.enabled:
             spans.record(
-                "select.request",
+                SELECT_REQUEST,
                 f"select:{self.host.name}",
                 started,
                 self.host.sim.now,

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Generator, List, Optional
 
 from ..sim import Effect, Sleep, spawn
+from ..obs.spans import EVICT_RECLAIM
 from .mechanism import MigrationManager, MigrationRecord
 
 __all__ = ["EvictionDaemon", "EvictionEvent"]
@@ -101,7 +102,7 @@ class EvictionDaemon:
         spans = self.manager.spans
         if spans.enabled:
             spans.record(
-                "evict.reclaim",
+                EVICT_RECLAIM,
                 f"evict:{self.host.name}",
                 started,
                 self.host.sim.now,

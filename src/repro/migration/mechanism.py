@@ -49,7 +49,22 @@ from ..kernel import (
     signals,
 )
 from ..net import NetworkPartitionedError, Reply, RpcError, RpcTimeout
-from ..obs.spans import Span, SpanTracer
+from ..obs.spans import (
+    MIG_COMMIT,
+    MIG_COMMIT_RPC,
+    MIG_FREEZE,
+    MIG_INSTALL,
+    MIG_MIGRATE,
+    MIG_NEGOTIATE,
+    MIG_STATE_PACK,
+    MIG_STREAMS,
+    MIG_UPDATE_HOME,
+    MIG_VM_PRE,
+    MIG_VM_TRANSFER,
+    MIG_WAIT_SAFE_POINT,
+    Span,
+    SpanTracer,
+)
 from ..sim import Effect, SimClock, SimEvent, Sleep, Tracer, first, spawn
 from .txn import MigrationJournal, MigrationTxn, TxnState
 from .vm import FlushToServer, VmOutcome, VmPolicy, make_policy
@@ -316,7 +331,7 @@ class MigrationManager:
             # Negotiate and pre-copy while the process keeps running.
             yield from self._negotiate(pcb, target, record, txn, root, epoch)
             negotiated_at = self.sim.now
-            self._phase(root, "mig.negotiate", record.started, negotiated_at)
+            self._phase(root, MIG_NEGOTIATE, record.started, negotiated_at)
             ticket.ticket_id = txn.ticket_id
             ticket.expires = txn.expires
             try:
@@ -333,7 +348,7 @@ class MigrationManager:
             self._abandon_if_crashed(epoch, txn)
             record.detail["pre_freeze_bytes"] = pre_bytes
             precopied_at = self.sim.now
-            self._phase(root, "mig.vm_pre", negotiated_at, precopied_at,
+            self._phase(root, MIG_VM_PRE, negotiated_at, precopied_at,
                         bytes=pre_bytes)
             # Ask the process to park at its next safe point.
             pcb.migration_ticket = ticket
@@ -352,7 +367,7 @@ class MigrationManager:
                     root,
                 )
             record.freeze_started = self.sim.now
-            self._phase(root, "mig.wait_safe_point", precopied_at,
+            self._phase(root, MIG_WAIT_SAFE_POINT, precopied_at,
                         record.freeze_started)
             # A long pre-copy may have burned most of the lease: renew it
             # now that the frozen transfer is about to start.
@@ -395,7 +410,7 @@ class MigrationManager:
         try:
             yield from self._negotiate(pcb, target, record, txn, root, epoch)
             record.freeze_started = self.sim.now
-            self._phase(root, "mig.negotiate", record.started,
+            self._phase(root, MIG_NEGOTIATE, record.started,
                         record.freeze_started)
             txn.advance(TxnState.FROZEN)
             self._journal_step(txn, epoch, "frozen")
@@ -429,7 +444,7 @@ class MigrationManager:
         try:
             yield from self._negotiate(pcb, target, record, txn, root, epoch)
             record.freeze_started = self.sim.now
-            self._phase(root, "mig.negotiate", record.started,
+            self._phase(root, MIG_NEGOTIATE, record.started,
                         record.freeze_started)
             txn.advance(TxnState.FROZEN)
             self._journal_step(txn, epoch, "frozen")
@@ -526,7 +541,7 @@ class MigrationManager:
         if not spans.enabled:
             return None
         return spans.start(
-            "mig.migrate",
+            MIG_MIGRATE,
             f"mig:{self.host.name}",
             t=record.started,
             pid=record.pid,
@@ -559,12 +574,12 @@ class MigrationManager:
         partition of ``total_time`` is preserved.
         """
         if record.commit_started:
-            self._phase(root, "mig.freeze", record.freeze_started,
+            self._phase(root, MIG_FREEZE, record.freeze_started,
                         record.commit_started)
-            self._phase(root, "mig.commit", record.commit_started,
+            self._phase(root, MIG_COMMIT, record.commit_started,
                         record.freeze_ended)
         else:
-            self._phase(root, "mig.freeze", record.freeze_started,
+            self._phase(root, MIG_FREEZE, record.freeze_started,
                         record.freeze_ended)
 
     def _refuse(
@@ -655,7 +670,7 @@ class MigrationManager:
             self._abandon_if_crashed(epoch, txn)
             if root is not None:
                 step_started = self._step(
-                    root, "mig.vm_transfer", step_started,
+                    root, MIG_VM_TRANSFER, step_started,
                     bytes=record.vm.bytes_total, policy=record.policy,
                 )
         self._journal_step(txn, epoch, "vm_sent")
@@ -663,7 +678,7 @@ class MigrationManager:
         yield from self.host.cpu.consume(params.migration_state_cpu)
         self._abandon_if_crashed(epoch, txn)
         if root is not None:
-            step_started = self._step(root, "mig.state_pack", step_started)
+            step_started = self._step(root, MIG_STATE_PACK, step_started)
         self._journal_step(txn, epoch, "state_packed")
         # -- open streams ---------------------------------------------------
         # Each export is preceded by an *intent* undo entry, so a crash
@@ -694,7 +709,7 @@ class MigrationManager:
                            count=record.streams_moved)
         if root is not None:
             step_started = self._step(
-                root, "mig.streams", step_started,
+                root, MIG_STREAMS, step_started,
                 count=record.streams_moved,
             )
         # -- ship the state; the target installs it *inactive* ---------------
@@ -744,7 +759,7 @@ class MigrationManager:
         txn.advance(TxnState.SHIPPED)
         self._journal_step(txn, epoch, "shipped")
         if root is not None:
-            self._step(root, "mig.install", step_started, bytes=wire_bytes)
+            self._step(root, MIG_INSTALL, step_started, bytes=wire_bytes)
 
     def _commit_txn(
         self,
@@ -793,7 +808,7 @@ class MigrationManager:
         self._journal_step(txn, epoch, "committed")
         txn.advance(TxnState.COMMITTED)
         if root is not None:
-            self._step(root, "mig.commit_rpc", record.commit_started)
+            self._step(root, MIG_COMMIT_RPC, record.commit_started)
         source = self.address
         self.kernel.detach_pcb(pcb, target)
         self._journal_step(txn, epoch, "detached")
@@ -801,7 +816,7 @@ class MigrationManager:
             update_from = self.sim.now
             yield from self._update_home(pcb, target, txn, epoch)
             if root is not None:
-                self._step(root, "mig.update_home", update_from,
+                self._step(root, MIG_UPDATE_HOME, update_from,
                            home=pcb.home)
         self._journal_step(txn, epoch, "home_updated")
         yield from self._close_lease(txn, target, epoch)

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, Optional
 
 from ..config import ClusterParams
-from ..obs.spans import SpanTracer
+from ..obs.spans import RPC_CALL, RPC_SERVE, SpanTracer
 from ..sim import (
     TIMED_OUT,
     ChannelClosed,
@@ -55,6 +55,10 @@ class _Request:
     reply_event: SimEvent
     reply_to: int
     reply_size_hint: int
+    #: Span id of the caller's ``rpc.call`` span (None when spans are
+    #: off).  The server records it on its ``rpc.serve`` span, giving
+    #: the critical-path analysis an explicit cross-host causal edge.
+    caller_sid: Optional[int] = None
 
 
 Handler = Callable[[Any], Generator[Effect, None, Any]]
@@ -147,8 +151,9 @@ class RpcPort:
         span = None
         if self.spans.enabled:
             span = self.spans.start(
-                "rpc.serve", f"rpc:{self.node.name}", t=self.sim.now,
+                RPC_SERVE, f"rpc:{self.node.name}", t=self.sim.now,
                 service=request.service, client=request.reply_to,
+                caller_sid=request.caller_sid,
             )
         handler = self._services.get(request.service)
         outcome: Any
@@ -258,7 +263,7 @@ class RpcPort:
         span = None
         if self.spans.enabled:
             span = self.spans.start(
-                "rpc.call", f"rpc:{self.node.name}", t=self.sim.now,
+                RPC_CALL, f"rpc:{self.node.name}", t=self.sim.now,
                 dst=dst, service=service, bytes=size,
             )
         last_error: Optional[BaseException] = None
@@ -270,6 +275,7 @@ class RpcPort:
                 reply_event=reply_event,
                 reply_to=self.node.address,
                 reply_size_hint=reply_size,
+                caller_sid=span.sid if span is not None else None,
             )
             packet = Packet(
                 src=self.node.address,

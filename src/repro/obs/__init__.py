@@ -12,6 +12,10 @@ Layered on :mod:`repro.sim.trace`'s flat record stream:
 * :mod:`.install` — :class:`ClusterObservability`, the one-call wiring
   for a :class:`~repro.cluster.SpriteCluster` (also reachable as
   ``cluster.observability()``).
+* :mod:`.critpath` — causal critical-path analysis: per-migration
+  latency attribution tables and whole-run critical-path profiles.
+* :mod:`.profile` — engine hot-spot profiler attributing dispatched
+  events per task source / subsystem (opt-in ``Simulator.profiler``).
 
 Everything is opt-in and zero-cost when off: instrumentation sites are
 guarded by ``enabled`` flags or ``is not None`` hooks, statically
@@ -19,6 +23,13 @@ checked by ``tools/check_trace_guards.py``.  See
 ``docs/observability.md`` for the span taxonomy and metric names.
 """
 
+from .critpath import (
+    critpath_report,
+    migration_critical_paths,
+    render_attribution_table,
+    render_run_path,
+    run_critical_path,
+)
 from .export import (
     migration_breakdowns,
     render_flame,
@@ -28,21 +39,70 @@ from .export import (
 )
 from .install import ClusterObservability
 from .metrics import Counter, Gauge, MetricsRegistry, MetricsSampler, Timer
-from .spans import SPAN_KIND, Span, SpanTracer
+from .profile import EngineProfiler
+from .spans import (
+    EVICT_RECLAIM,
+    FAULT_OUTAGE,
+    KERNEL_FORWARD,
+    MIG_COMMIT,
+    MIG_COMMIT_RPC,
+    MIG_FREEZE,
+    MIG_INSTALL,
+    MIG_MIGRATE,
+    MIG_NEGOTIATE,
+    MIG_STATE_PACK,
+    MIG_STREAMS,
+    MIG_UPDATE_HOME,
+    MIG_VM_PRE,
+    MIG_VM_TRANSFER,
+    MIG_WAIT_SAFE_POINT,
+    RPC_CALL,
+    RPC_SERVE,
+    SELECT_REQUEST,
+    SPAN_CATALOGUE,
+    SPAN_KIND,
+    Span,
+    SpanTracer,
+)
 
 __all__ = [
+    "EVICT_RECLAIM",
+    "FAULT_OUTAGE",
+    "KERNEL_FORWARD",
+    "MIG_COMMIT",
+    "MIG_COMMIT_RPC",
+    "MIG_FREEZE",
+    "MIG_INSTALL",
+    "MIG_MIGRATE",
+    "MIG_NEGOTIATE",
+    "MIG_STATE_PACK",
+    "MIG_STREAMS",
+    "MIG_UPDATE_HOME",
+    "MIG_VM_PRE",
+    "MIG_VM_TRANSFER",
+    "MIG_WAIT_SAFE_POINT",
+    "RPC_CALL",
+    "RPC_SERVE",
+    "SELECT_REQUEST",
+    "SPAN_CATALOGUE",
     "SPAN_KIND",
     "ClusterObservability",
     "Counter",
+    "EngineProfiler",
     "Gauge",
     "MetricsRegistry",
     "MetricsSampler",
     "Span",
     "SpanTracer",
     "Timer",
+    "critpath_report",
     "migration_breakdowns",
+    "migration_critical_paths",
+    "render_attribution_table",
     "render_flame",
+    "render_run_path",
     "render_span_summary",
+    "run_critical_path",
     "spans_to_chrome_trace",
     "trace_to_jsonl",
 ]

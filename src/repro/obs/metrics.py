@@ -146,6 +146,44 @@ class MetricsRegistry:
         points.append((time, value))
 
     # ------------------------------------------------------------------
+    # Cross-registry merges (sweep aggregation)
+    # ------------------------------------------------------------------
+    def merge_from(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry in place.
+
+        Counters add; timers merge their histograms (via
+        :meth:`LatencyHistogram.merge`, so bucket layouts must match —
+        they always do for registries built by this library); series
+        points append in call order; gauges are last-write-wins, so the
+        *later* registry's reading survives.  Callers wanting a
+        fingerprint-stable aggregate must fold registries in a
+        deterministic order — :func:`repro.snapshot.sweep.forked_map`
+        merges in cell-index order regardless of worker count.
+        """
+        for key, counter in other.counters.items():
+            self.counter(*key).inc(counter.value)
+        for key, gauge in other.gauges.items():
+            self.gauge(*key).set(gauge.value)
+        for key, timer in other.timers.items():
+            self.timer(*key).histogram.merge(timer.histogram)
+        for key, points in other.series.items():
+            mine = self.series.get(key)
+            if mine is None:
+                mine = self.series[key] = []
+            mine.extend(points)
+        return self
+
+    @classmethod
+    def merge_all(cls, registries: Any) -> "MetricsRegistry":
+        """A fresh registry holding the fold of ``registries`` (in
+        iteration order)."""
+        merged = cls()
+        for registry in registries:
+            if registry is not None:
+                merged.merge_from(registry)
+        return merged
+
+    # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """The whole registry as plain JSON-able data."""
 

@@ -26,10 +26,91 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..sim.trace import Tracer
 
-__all__ = ["Span", "SpanTracer", "SPAN_KIND"]
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "SPAN_KIND",
+    "SPAN_CATALOGUE",
+    "MIG_MIGRATE",
+    "MIG_NEGOTIATE",
+    "MIG_VM_PRE",
+    "MIG_WAIT_SAFE_POINT",
+    "MIG_FREEZE",
+    "MIG_COMMIT",
+    "MIG_VM_TRANSFER",
+    "MIG_STATE_PACK",
+    "MIG_STREAMS",
+    "MIG_INSTALL",
+    "MIG_COMMIT_RPC",
+    "MIG_UPDATE_HOME",
+    "EVICT_RECLAIM",
+    "SELECT_REQUEST",
+    "KERNEL_FORWARD",
+    "RPC_CALL",
+    "RPC_SERVE",
+    "FAULT_OUTAGE",
+]
 
 #: Trace-record kind under which finished spans are mirrored.
 SPAN_KIND = "span"
+
+# ----------------------------------------------------------------------
+# Span-name catalogue
+# ----------------------------------------------------------------------
+# Every span the library emits is named here, once.  Downstream
+# analysis — the critical-path attribution in :mod:`.critpath`, the
+# migration breakdowns in :mod:`.export` — keys on these strings, so a
+# silently drifting phase name would corrupt attribution without
+# failing any single-layer test.  The ``obs-span-catalogue`` lint rule
+# (``python -m repro lint``) requires span names at ``SpanTracer.start``
+# / ``SpanTracer.record`` call sites to resolve to a member of
+# :data:`SPAN_CATALOGUE`.
+
+#: Migration lifecycle root and its contiguous phase children.
+MIG_MIGRATE = "mig.migrate"
+MIG_NEGOTIATE = "mig.negotiate"
+MIG_VM_PRE = "mig.vm_pre"
+MIG_WAIT_SAFE_POINT = "mig.wait_safe_point"
+MIG_FREEZE = "mig.freeze"
+MIG_COMMIT = "mig.commit"
+
+#: Transfer sub-steps (siblings of the phases, parented on the root).
+MIG_VM_TRANSFER = "mig.vm_transfer"
+MIG_STATE_PACK = "mig.state_pack"
+MIG_STREAMS = "mig.streams"
+MIG_INSTALL = "mig.install"
+MIG_COMMIT_RPC = "mig.commit_rpc"
+MIG_UPDATE_HOME = "mig.update_home"
+
+#: Other instrumented subsystems.
+EVICT_RECLAIM = "evict.reclaim"
+SELECT_REQUEST = "select.request"
+KERNEL_FORWARD = "kernel.forward"
+RPC_CALL = "rpc.call"
+RPC_SERVE = "rpc.serve"
+FAULT_OUTAGE = "fault.outage"
+
+#: The registered span names; membership is lint-enforced at emit sites.
+SPAN_CATALOGUE = frozenset({
+    MIG_MIGRATE,
+    MIG_NEGOTIATE,
+    MIG_VM_PRE,
+    MIG_WAIT_SAFE_POINT,
+    MIG_FREEZE,
+    MIG_COMMIT,
+    MIG_VM_TRANSFER,
+    MIG_STATE_PACK,
+    MIG_STREAMS,
+    MIG_INSTALL,
+    MIG_COMMIT_RPC,
+    MIG_UPDATE_HOME,
+    EVICT_RECLAIM,
+    SELECT_REQUEST,
+    KERNEL_FORWARD,
+    RPC_CALL,
+    RPC_SERVE,
+    FAULT_OUTAGE,
+})
 
 
 class Span:

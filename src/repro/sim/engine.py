@@ -144,6 +144,7 @@ class Simulator:
         "failures",
         "live_tasks",
         "state",
+        "profiler",
     )
 
     def __init__(self) -> None:
@@ -175,6 +176,12 @@ class Simulator:
         #: :mod:`repro.sim.state`.  Snapshots capture it with the rest
         #: of the simulator.
         self.state = StateRegistry()
+        #: Optional hot-spot profiler (:class:`repro.obs.profile.
+        #: EngineProfiler`).  ``None`` by default; the dispatch loops
+        #: test it once per entry (``run``) or per event (``step``), so
+        #: an unprofiled run pays one load and one branch — the same
+        #: cost model as the trace/span guards.
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -250,6 +257,8 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
+        if self.profiler is not None:
+            return self._step_profiled()
         ready = self._ready
         heap = self._heap
         while ready or heap:
@@ -310,6 +319,8 @@ class Simulator:
         """
         if self._running:
             raise RuntimeError("Simulator.run is not reentrant")
+        if self.profiler is not None:
+            return self._run_profiled(until)
         self._running = True
         fired = 0
         try:
@@ -393,6 +404,106 @@ class Simulator:
         while self.step():
             pass
         return self.now
+
+    # ------------------------------------------------------------------
+    # Profiled dispatch (cold twins of step()/run(); the hot loops above
+    # stay branch-free apart from the single entry check)
+    # ------------------------------------------------------------------
+    def _peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None when the queue is empty.
+
+        Discards cancelled corpses from both queue heads as a side
+        effect (exactly what dispatch would have done lazily).
+        """
+        ready = self._ready
+        heap = self._heap
+        while True:
+            if ready:
+                r = ready[0]
+                handle = r[2]
+                if handle is not None and handle.cancelled:
+                    ready.popleft()
+                    self._ready_cancelled -= 1
+                    continue
+                if heap:
+                    h = heap[0]
+                    if h[2].cancelled:
+                        heapq.heappop(heap)
+                        self._heap_cancelled -= 1
+                        continue
+                    if h[0] < r[0] or (h[0] == r[0] and h[1] < r[1]):
+                        return h[0]
+                return r[0]
+            if heap:
+                h = heap[0]
+                if h[2].cancelled:
+                    heapq.heappop(heap)
+                    self._heap_cancelled -= 1
+                    continue
+                return h[0]
+            return None
+
+    def _dispatch_profiled(self) -> None:
+        """Pop and fire the next event through :attr:`profiler`.
+
+        Callers must have established via :meth:`_peek_time` that a live
+        event exists (both queue heads are corpse-free).
+        """
+        ready = self._ready
+        heap = self._heap
+        use_heap = bool(heap)
+        if ready:
+            use_heap = False
+            if heap:
+                h = heap[0]
+                r = ready[0]
+                if h[0] < r[0] or (h[0] == r[0] and h[1] < r[1]):
+                    use_heap = True
+        if use_heap:
+            h = heapq.heappop(heap)
+            handle = h[2]
+            handle.sim = None
+            self.now = h[0]
+            fn, args = handle.fn, handle.args
+        else:
+            r = ready.popleft()
+            handle = r[2]
+            if handle is not None:
+                handle.sim = None
+            self.now = r[0]
+            fn, args = r[3], r[4]
+        self.events_fired += 1
+        self.profiler.dispatch(fn, args)
+        if self.failures:
+            self._raise_failure()
+
+    def _step_profiled(self) -> bool:
+        if self._peek_time() is None:
+            return False
+        self._dispatch_profiled()
+        return True
+
+    def _run_profiled(self, until: Optional[float]) -> float:
+        """:meth:`run` with every dispatch routed through the profiler."""
+        self._running = True
+        try:
+            bounded = until is not None
+            while True:
+                t = self._peek_time()
+                if t is None:
+                    break
+                if bounded and t > until:
+                    break
+                self._dispatch_profiled()
+            if bounded:
+                self.now = max(self.now, until)
+            elif self.live_tasks > 0:
+                raise SimulationDeadlock(
+                    f"event queue drained with {self.live_tasks} task(s) still blocked"
+                )
+            return self.now
+        finally:
+            self._running = False
 
     def _raise_failure(self) -> None:
         failure = self.failures[0]

@@ -13,7 +13,7 @@ Entry point from a cluster: ``cluster.snapshot()``.  Docs:
 """
 
 from .core import PICKLE_PROTOCOL, Snapshot
-from .sweep import SweepError, SweepRunner, forked_map
+from .sweep import SweepError, SweepRunner, forked_map, forked_map_metrics
 
 __all__ = [
     "PICKLE_PROTOCOL",
@@ -21,4 +21,5 @@ __all__ = [
     "SweepError",
     "SweepRunner",
     "forked_map",
+    "forked_map_metrics",
 ]

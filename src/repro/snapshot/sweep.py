@@ -42,7 +42,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from .core import PICKLE_PROTOCOL, Snapshot
 
-__all__ = ["SweepRunner", "SweepError", "forked_map"]
+__all__ = ["SweepRunner", "SweepError", "forked_map", "forked_map_metrics"]
 
 _CHUNK = 1 << 16
 
@@ -122,6 +122,42 @@ def forked_map(
     if failures:
         raise SweepError("\n".join(failures))
     return results
+
+
+def forked_map_metrics(
+    job: Callable[[int], Any],
+    count: int,
+    workers: int = 1,
+) -> Any:
+    """:func:`forked_map` for jobs that also produce per-cell metrics.
+
+    ``job(i)`` must return ``(value, registry_or_none)`` where the
+    second element is a :class:`~repro.obs.metrics.MetricsRegistry` (or
+    ``None`` for cells with nothing to report).  Each cell's registry
+    crosses the fork boundary through the same result pipe as its
+    value; the parent folds them with
+    :meth:`MetricsRegistry.merge_from` **in cell-index order**, so the
+    merged aggregate — counter totals, histogram buckets, series — is
+    fingerprint-stable for any ``workers`` count.
+
+    Returns ``(values, merged_registry)``.
+    """
+    from ..obs.metrics import MetricsRegistry
+
+    pairs = forked_map(job, count, workers)
+    values: List[Any] = []
+    merged = MetricsRegistry()
+    for index, pair in enumerate(pairs):
+        if not (isinstance(pair, tuple) and len(pair) == 2):
+            raise SweepError(
+                f"cell {index}: forked_map_metrics jobs must return "
+                f"(value, MetricsRegistry-or-None), got {type(pair).__name__}"
+            )
+        value, registry = pair
+        values.append(value)
+        if registry is not None:
+            merged.merge_from(registry)
+    return values, merged
 
 
 class SweepRunner:
@@ -207,3 +243,34 @@ class SweepRunner:
 
             return forked_map(job, len(cells), self.workers)
         return [cell_fn(self._fresh(), cell) for cell in cells]
+
+    def run_with_metrics(
+        self,
+        cells: Sequence[Any],
+        cell_fn: Callable[[Any, Any], Any],
+    ) -> Any:
+        """Like :meth:`run`, for cell functions returning
+        ``(value, MetricsRegistry-or-None)``.
+
+        Returns ``(values, merged_registry)``; per-cell registries are
+        folded in cell order (see :func:`forked_map_metrics`), so the
+        aggregate is identical for any worker count and for the
+        sequential fallback path.
+        """
+        from ..obs.metrics import MetricsRegistry
+
+        pairs = self.run(cells, cell_fn)
+        values: List[Any] = []
+        merged = MetricsRegistry()
+        for index, pair in enumerate(pairs):
+            if not (isinstance(pair, tuple) and len(pair) == 2):
+                raise SweepError(
+                    f"cell {index}: run_with_metrics cell functions must "
+                    "return (value, MetricsRegistry-or-None), got "
+                    f"{type(pair).__name__}"
+                )
+            value, registry = pair
+            values.append(value)
+            if registry is not None:
+                merged.merge_from(registry)
+        return values, merged

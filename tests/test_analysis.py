@@ -924,3 +924,90 @@ def test_trace_guard_shim_cli():
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
     assert "trace guards ok" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# obs-span-catalogue
+# ----------------------------------------------------------------------
+def test_span_catalogue_positive_inline_string(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mech.py": """\
+            def go(self):
+                span = self.spans.start("mig.bogus_phase", "mig:ws0")
+                span.finish(1.0)
+            """
+        },
+        ["obs-span-catalogue"],
+    )
+    assert rule_ids(findings) == ["obs-span-catalogue"]
+    assert "mig.bogus_phase" in findings[0].message
+
+
+def test_span_catalogue_negative_constant_and_literal(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "mech.py": """\
+            from repro.obs.spans import MIG_FREEZE
+
+            def go(self, obs):
+                obs.spans.start(MIG_FREEZE, "mig:ws0")
+                obs.spans.record("rpc.call", "rpc:ws0", 0.0, 1.0)
+            """
+        },
+        ["obs-span-catalogue"],
+    )
+    assert findings == []
+
+
+def test_span_catalogue_forwarded_param(tmp_path):
+    # A wrapper that forwards its `name` parameter is clean only when
+    # every same-module caller passes a catalogued name.
+    bad = findings_of(
+        tmp_path,
+        {
+            "mech.py": """\
+            def _phase(self, name, t):
+                return self.spans.start(name, "mig:ws0", t=t)
+
+            def run(self):
+                self._phase("not.registered", 0.0)
+            """
+        },
+        ["obs-span-catalogue"],
+    )
+    assert rule_ids(bad) == ["obs-span-catalogue"]
+    assert "forwarded" in bad[0].message and "not.registered" in bad[0].message
+
+    good = findings_of(
+        tmp_path,
+        {
+            "mech.py": """\
+            from repro.obs.spans import MIG_FREEZE
+
+            def _phase(self, name, t):
+                return self.spans.start(name, "mig:ws0", t=t)
+
+            def run(self):
+                self._phase(MIG_FREEZE, 0.0)
+            """
+        },
+        ["obs-span-catalogue"],
+    )
+    assert good == []
+
+
+def test_span_catalogue_exempts_obs_layer(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "obs/impl.py": """\
+            def go(self):
+                self.spans.start("anything.goes", "x:ws0")
+            """
+        },
+        ["obs-span-catalogue"],
+    )
+    assert findings == []

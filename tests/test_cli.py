@@ -101,3 +101,57 @@ def test_trace_span_filter_limits_chrome_events(tmp_path):
     doc = json.loads((out / "trace_chrome.json").read_text())
     names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
     assert names and all(n.startswith("mig.") for n in names)
+
+
+def test_trace_unmatched_filters_fail_loudly(tmp_path, capsys):
+    # A filter that matches nothing is almost always a typo; the CLI
+    # must exit non-zero with a clear message, not export empty files.
+    cases = [
+        (["--kinds", "no-such-kind"], "--kinds"),
+        (["--host", "no-such-host"], "--host"),
+        (["--span", "nope."], "--span"),
+    ]
+    for extra, flag in cases:
+        out = tmp_path / flag.strip("-")
+        assert main(["trace", "migration", "--out", str(out)] + extra) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and flag in err, err
+        assert not out.exists(), "no artifacts on filter error"
+
+
+def test_critpath_migration_prints_attribution(tmp_path, capsys):
+    out = tmp_path / "critpath.txt"
+    assert main(["critpath", "migration", "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "critical-path attribution (2 migrations):" in printed
+    assert "= freeze" in printed
+    assert "critical-path profile (whole run):" in printed
+    assert out.read_text() in printed or printed.startswith(
+        out.read_text()[:40]
+    )
+
+
+def test_critpath_profile_flag_appends_engine_profile(capsys):
+    assert main(["critpath", "migration", "--profile"]) == 0
+    printed = capsys.readouterr().out
+    assert "engine profile:" in printed
+    assert "by subsystem (shard candidates)" in printed
+
+
+def test_critpath_report_is_deterministic(capsys):
+    assert main(["critpath", "migration"]) == 0
+    first = capsys.readouterr().out
+    assert main(["critpath", "migration"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_parser_accepts_critpath_and_perf():
+    parser = build_parser()
+    args = parser.parse_args(["critpath", "migration", "--limit", "10",
+                              "--profile"])
+    assert args.command == "critpath" and args.limit == 10 and args.profile
+    args = parser.parse_args(["perf", "--smoke", "--no-gate",
+                              "--history", "/tmp/h.json"])
+    assert args.command == "perf" and args.smoke and args.no_gate
+    with pytest.raises(SystemExit):
+        parser.parse_args(["critpath", "not-a-target"])

@@ -216,6 +216,43 @@ def test_chrome_trace_shape(tmp_path):
     assert child["args"]["parent"] == root_event["args"]["sid"]
 
 
+def test_chrome_trace_empty(tmp_path):
+    path = tmp_path / "empty.json"
+    doc = spans_to_chrome_trace([], path)
+    assert doc == {"traceEvents": [], "displayTimeUnit": "ms"}
+    assert json.loads(path.read_text()) == doc
+
+
+def test_chrome_trace_skips_unfinished_spans():
+    spans = SpanTracer(Tracer())
+    spans.enabled = True
+    done = spans.start("rpc.call", "rpc:ws0", t=0.0)
+    done.finish(1.0)
+    live = spans.start("mig.migrate", "mig:ws0", t=0.5)  # open at quiesce
+    doc = spans_to_chrome_trace(spans.finished + list(spans.open.values()))
+    assert not live.finished
+    names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert names == ["rpc.call"]
+    # And the unfinished span never reaches .finished either.
+    assert [s.name for s in spans.finished] == ["rpc.call"]
+
+
+def test_chrome_trace_overlapping_same_name_spans_one_host():
+    spans = SpanTracer(Tracer())
+    first = spans.record("rpc.call", "rpc:ws0", 0.0, 2.0, service="a")
+    second = spans.record("rpc.call", "rpc:ws0", 1.0, 3.0, service="b")
+    doc = spans_to_chrome_trace(spans.finished)
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    # One process row, both complete events preserved with distinct
+    # sids — overlap must not merge or drop either event.
+    assert len(metas) == 1 and len(xs) == 2
+    assert {e["pid"] for e in xs} == {metas[0]["pid"]}
+    assert {e["args"]["sid"] for e in xs} == {first.sid, second.sid}
+    assert [e["ts"] for e in xs] == [0.0, 1e6]
+    assert all(e["dur"] == pytest.approx(2e6) for e in xs)
+
+
 def test_jsonl_roundtrip(tmp_path):
     tracer = Tracer(enabled=True)
     tracer.emit(1.0, "s", "k", n=1, obj=object())
