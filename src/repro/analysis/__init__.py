@@ -18,6 +18,8 @@ AST, so a violating PR fails CI even when no test covers the new code:
   only through the unified error hierarchies.
 * :mod:`.rules_state` — no module-level mutable state (process-wide
   counters/caches); per-cluster state lives in ``sim.state``.
+* :mod:`.rules_packaging` — migration and checkpointing stay on the
+  shared process-packaging helpers (no divergent copies).
 
 Run it as ``python -m repro lint``; see ``docs/static-analysis.md`` for
 the rule catalogue, the ``# lint: disable=RULE(reason)`` pragma, and
@@ -40,6 +42,7 @@ from .core import (
 from . import rules_determinism  # noqa: F401
 from . import rules_errors  # noqa: F401
 from . import rules_observability  # noqa: F401
+from . import rules_packaging  # noqa: F401
 from . import rules_rpc  # noqa: F401
 from . import rules_state  # noqa: F401
 from . import rules_txn  # noqa: F401

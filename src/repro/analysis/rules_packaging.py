@@ -1,0 +1,132 @@
+"""Shared process-packaging guard (PR 8).
+
+Migration and checkpointing package processes the same way, on purpose:
+``migration/packaging.py`` is the single home for the stream
+export/import loops, byte accounting, and the install-payload shape.
+History shows such helpers silently fork — a second hand-rolled
+``for fd in sorted(pcb.streams): ... export_stream(...)`` loop in a new
+subsystem drifts the day the canonical one grows an undo hook.
+
+``mig-shared-packaging`` enforces convergence three ways, all scoped to
+``migration/`` and ``checkpoint/`` (the two packaging callers) and all
+inert on fixture trees without ``migration/packaging.py``:
+
+* no loop outside ``packaging.py`` may call ``export_stream`` /
+  ``import_stream`` directly — that is a divergent copy of the loop;
+* no dict literal outside ``packaging.py`` may rebuild the install
+  payload (string keys covering ``pcb``/``ticket``/``streams``);
+* the two known callers (``migration/mechanism.py`` and, when present,
+  the checkpoint subsystem's image module) must actually import from
+  the shared module — deleting the import is how a fork starts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from .core import Finding, ModuleInfo, Rule, Tree, register_rule
+
+_PACKAGING_MODULE = "migration/packaging.py"
+
+#: Modules required to stay on the shared helpers (when they exist).
+_REQUIRED_CALLERS = ("migration/mechanism.py", "checkpoint/image.py")
+
+#: Dict keys that identify a hand-rolled install payload.
+_PAYLOAD_KEYS = {"pcb", "ticket", "streams"}
+
+_PACKAGING_CALLS = {"export_stream", "import_stream"}
+
+
+def _loop_packaging_call(loop: ast.AST) -> Optional[ast.Call]:
+    """First direct ``.export_stream()``/``.import_stream()`` call in a
+    loop body (nested defs are separate scopes and skipped)."""
+    for node in ast.walk(loop):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _PACKAGING_CALLS
+        ):
+            return node
+    return None
+
+
+def _dict_string_keys(node: ast.Dict) -> Set[str]:
+    keys: Set[str] = set()
+    for key in node.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.add(key.value)
+    return keys
+
+
+def _imports_packaging(module: ModuleInfo) -> bool:
+    assert module.tree is not None
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            if (node.module or "").split(".")[-1] == "packaging":
+                return True
+            # ``from ..migration import packaging`` binds the module too.
+            if any(alias.name == "packaging" for alias in node.names):
+                return True
+        elif isinstance(node, ast.Import):
+            if any(
+                alias.name.split(".")[-1] == "packaging"
+                for alias in node.names
+            ):
+                return True
+    return False
+
+
+class SharedPackagingRule(Rule):
+    id = "mig-shared-packaging"
+    description = (
+        "Migration and checkpointing must package processes through "
+        "migration/packaging.py — no divergent export/import loops or "
+        "hand-rolled install payloads."
+    )
+
+    def check(self, tree: Tree) -> Iterable[Finding]:
+        if tree.module(_PACKAGING_MODULE) is None:
+            return  # fixture tree without the shared module: inert
+        for module in tree.parsed():
+            if not module.rel.startswith(("migration/", "checkpoint/")):
+                continue
+            if module.rel == _PACKAGING_MODULE:
+                continue
+            assert module.tree is not None
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.For, ast.While)):
+                    call = _loop_packaging_call(node)
+                    if call is not None:
+                        yield module.finding(
+                            self.id,
+                            call,
+                            f"direct {call.func.attr} loop outside "  # type: ignore[union-attr]
+                            f"{_PACKAGING_MODULE} — use "
+                            "packaging.export_streams/import_streams so "
+                            "migration and checkpointing cannot diverge",
+                        )
+                elif isinstance(node, ast.Dict):
+                    if _PAYLOAD_KEYS <= _dict_string_keys(node):
+                        yield module.finding(
+                            self.id,
+                            node,
+                            "hand-rolled install payload (pcb/ticket/"
+                            "streams keys) — use packaging.install_payload",
+                        )
+        for rel in _REQUIRED_CALLERS:
+            module = tree.module(rel)
+            if module is None or module.tree is None:
+                continue
+            if not _imports_packaging(module):
+                yield module.finding(
+                    self.id,
+                    1,
+                    f"{rel} no longer imports migration/packaging — the "
+                    "shared packaging discipline has forked",
+                )
+
+
+register_rule(SharedPackagingRule())

@@ -9,7 +9,11 @@ eviction this trades transparency and efficiency for kernel simplicity.
 The scheduler here reproduces Condor's behaviour faithfully enough for
 the comparison benchmarks: periodic checkpoints to the shared FS,
 eviction-by-kill when a host's owner returns, restart from the last
-checkpoint on the next idle host.
+checkpoint on the next idle host.  Image storage and pricing go through
+:mod:`repro.checkpoint` — the same digest-sealed
+:class:`~repro.checkpoint.CheckpointImage`/:class:`~repro.checkpoint.\
+CheckpointStore` primitives the kernel-level checkpoint daemon uses, so
+the baseline and the subsystem can never drift apart on image costs.
 """
 
 from __future__ import annotations
@@ -17,9 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, List, Optional
 
+from ..checkpoint import CheckpointStore, read_image, write_image
 from ..config import MB
 from ..cluster import SpriteCluster
-from ..fs import BackingFile
 from ..kernel import Host
 from ..sim import Effect, Sleep, Task, spawn
 
@@ -80,7 +84,9 @@ class CondorScheduler:
         self.results: List[CondorJobResult] = []
         self.evictions = 0
         self._runner_tasks: List[Task] = []
-        self._next_ckpt_path = 0
+        #: Checkpoint images, keyed by job id (shared primitives with
+        #: the kernel-level checkpoint daemon; bounded generations).
+        self.store = CheckpointStore(cluster.params, root="/condor")
         self._done_count = 0
         self._submitted = 0
 
@@ -135,10 +141,15 @@ class CondorScheduler:
         """Execute (a segment of) a job on one host until done/evicted."""
         sim = self.cluster.sim
         try:
-            # Restart: fetch the checkpoint image from the shared FS.
+            # Restart: fetch the newest intact checkpoint image from
+            # the shared FS (none yet = restart from scratch).
             if job.restarts or job.checkpoints:
-                yield from self._image_io(host, job.image_bytes, write=False)
-                job.completed_cpu = job.checkpointed_cpu
+                image = self.store.latest_intact(job.job_id)
+                if image is not None:
+                    yield from read_image(host.fs, image)
+                    job.completed_cpu = image.progress
+                else:
+                    job.completed_cpu = 0.0
             next_checkpoint = sim.now + self.checkpoint_period
             while job.completed_cpu < job.cpu_seconds:
                 if host.user_present or (
@@ -159,7 +170,19 @@ class CondorScheduler:
                 yield from host.cpu.consume(demand)
                 job.completed_cpu = slice_end_cpu
                 if sim.now >= next_checkpoint and job.completed_cpu < job.cpu_seconds:
-                    yield from self._image_io(host, job.image_bytes, write=True)
+                    image = self.store.begin(
+                        job.job_id, f"condor-{job.job_id}", "full"
+                    )
+                    image.taken_at = sim.now
+                    image.progress = job.completed_cpu
+                    image.vm_size = job.image_bytes
+                    image.restore_bytes = (
+                        job.image_bytes
+                        + host.params.checkpoint_digest_bytes
+                    )
+                    yield from write_image(
+                        host.fs, self.store, image, job.image_bytes
+                    )
                     job.checkpointed_cpu = job.completed_cpu
                     job.checkpoints += 1
                     next_checkpoint = sim.now + self.checkpoint_period
@@ -168,16 +191,3 @@ class CondorScheduler:
             self._done_count += 1
         finally:
             busy_hosts.discard(host.address)
-
-    def _image_io(
-        self, host: Host, nbytes: int, write: bool
-    ) -> Generator[Effect, None, None]:
-        """Checkpoint image write/read through the shared file system."""
-        path = f"/condor/ckpt{self._next_ckpt_path}"
-        self._next_ckpt_path += 1
-        backing = BackingFile(host.fs, path)
-        yield from backing.create()
-        if write:
-            yield from backing.page_out(nbytes)
-        else:
-            yield from backing.page_in(nbytes)

@@ -1,0 +1,52 @@
+"""Checkpoint/restart: the fault-tolerance alternative to migration.
+
+Sprite migrates processes to *avoid* losing them (evict before the
+owner returns, drain before a planned shutdown) — but an unplanned
+crash still loses whatever was resident.  This package adds the classic
+alternative: periodically write each protected process's state to a
+durable image on a file server, and after a crash restart it from the
+newest intact image on a surviving host.
+
+The image format deliberately reuses the migration transaction's
+process-packaging discipline (:mod:`repro.migration.packaging`): the
+same machine-independent state bytes, the same per-stream references,
+the same zero-arg spawn factory — a checkpoint is "a migration whose
+target is a file".
+
+Components:
+
+* :mod:`.image`   — :class:`CheckpointImage` (digest-sealed, torn-write
+  detectable) and the generation-bounded :class:`CheckpointStore`.
+* :mod:`.daemon`  — per-host :class:`CheckpointDaemon`, full and
+  incremental (dirty-page) modes, lazily spawned.
+* :mod:`.restart` — :class:`RestartManager`, driven by the fault
+  injector's crash detection.
+* :mod:`.service` — :class:`CheckpointService` wiring plus the
+  :class:`FaultPolicy` triple (``migrate`` / ``checkpoint`` /
+  ``hybrid``) the tradeoff study compares.
+
+Zero-cost when off: constructing nothing schedules nothing, and every
+hook this package installs elsewhere (``injector.restart``,
+``cluster.checkpoints``, ``pcb.checkpoint_lock``) sits behind an
+``is not None`` / falsy test on the default path, so checkpoint-off
+runs are byte-identical to a build without this package.
+"""
+
+from .daemon import CheckpointDaemon, Registration
+from .image import CheckpointImage, CheckpointStore, read_image, write_image
+from .restart import RestartManager
+from .service import CheckpointService, FaultPolicy, POLICIES, policy_named
+
+__all__ = [
+    "CheckpointDaemon",
+    "CheckpointImage",
+    "CheckpointService",
+    "CheckpointStore",
+    "FaultPolicy",
+    "POLICIES",
+    "Registration",
+    "RestartManager",
+    "policy_named",
+    "read_image",
+    "write_image",
+]

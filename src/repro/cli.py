@@ -31,6 +31,7 @@ DEMOS: Dict[str, str] = {
     "selection": "host_selection_tour.py",
     "faults": "fault_tolerance_demo.py",
     "sockets": "socket_migration.py",
+    "checkpoint": "checkpoint_restart_demo.py",
 }
 
 EXPERIMENTS: Dict[str, str] = {
@@ -55,6 +56,7 @@ EXPERIMENTS: Dict[str, str] = {
     "P1": "bench_engine.py",
     "P2": "bench_sweep.py",
     "P3": "bench_faults.py",
+    "P8": "bench_checkpoint.py",
 }
 
 
@@ -396,6 +398,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 mtbf=args.mtbf,
                 jobs=args.jobs,
                 base=cluster,
+                policy=args.policy,
+                checkpoint_interval=args.checkpoint_interval,
+                checkpoint_mode=args.checkpoint_mode,
+                job_memory=args.job_memory,
             )
 
         pair = SweepRunner(base, workers=args.workers).run(
@@ -418,6 +424,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                   f"({report.jobs_finished} finished, {report.jobs_lost} lost), "
                   f"{report.migrations} migrations, {report.refusals} refusals, "
                   f"{report.faults} faults, fingerprint {report.fingerprint[:16]}")
+            if report.policy != "migrate":
+                print(f"    policy {report.policy}: "
+                      f"{report.checkpoints} checkpoints, "
+                      f"{report.restores} restores, "
+                      f"{report.torn_images} torn, "
+                      f"availability {report.availability:.2f}, "
+                      f"goodput {report.goodput:.3f}")
             for event in report.events:
                 print(f"    {event}")
             for violation in report.violations:
@@ -578,6 +591,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "scripted gauntlet")
     chaos.add_argument("--mtbf", type=float, default=60.0,
                        help="mean time between host crashes (--churn)")
+    chaos.add_argument("--policy", default="migrate",
+                       choices=["migrate", "proactive-migrate",
+                                "checkpoint", "checkpoint-restart",
+                                "hybrid"],
+                       help="fault-tolerance policy: proactive "
+                            "migration (default, today's behaviour), "
+                            "checkpoint/restart, or both")
+    chaos.add_argument("--checkpoint-interval", type=float, default=None,
+                       help="sim seconds between checkpoints "
+                            "(default ClusterParams.checkpoint_interval)")
+    chaos.add_argument("--checkpoint-mode", default="full",
+                       choices=["full", "incremental"],
+                       help="image mode: full, or dirty-page deltas "
+                            "chained on the last full image")
+    chaos.add_argument("--job-memory", type=int, default=0,
+                       help="bytes of address space per chaos job "
+                            "(sizes checkpoint images; 0 keeps the "
+                            "golden workload)")
     chaos.add_argument("--verify-determinism", action="store_true",
                        help="run each seed twice and require "
                             "byte-identical trace fingerprints")

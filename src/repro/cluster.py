@@ -92,6 +92,10 @@ class SpriteCluster:
         self.kernels: Dict[int, SpriteKernel] = {}
         #: address -> migration manager.
         self.managers: Dict[int, MigrationManager] = {}
+        #: Set by :class:`repro.checkpoint.CheckpointService` when the
+        #: run uses checkpoint/restart; the invariant checker counts its
+        #: intact images as accounted process state.
+        self.checkpoints: Optional[Any] = None
 
         self.server_hosts: List[ServerHost] = []
         for i in range(file_servers):

@@ -120,6 +120,21 @@ class ClusterParams:
     #: require it on).
     migration_txn_journal: bool = True
 
+    # --- checkpointing ----------------------------------------------------
+    #: Default period between checkpoints of a registered process
+    #: (seconds of sim time); policies override it per run.
+    checkpoint_interval: float = 60.0
+    #: Kernel CPU to package (or re-instantiate) the non-VM process
+    #: state for a checkpoint image — the same work migration's
+    #: ``migration_state_cpu`` models, charged by the daemon.
+    checkpoint_state_cpu: float = 25.0 * MS
+    #: Image trailer: digest + header bytes appended to every image so
+    #: a torn write is detectable (and so no image write is ever empty).
+    checkpoint_digest_bytes: int = 64
+    #: Intact image generations kept per process; older ones are
+    #: dropped so checkpoint storage is bounded.
+    checkpoint_generations: int = 2
+
     # --- load sharing -----------------------------------------------------
     #: A host counts as idle when its load average is below this and no
     #: user input arrived within ``idle_input_threshold`` seconds.

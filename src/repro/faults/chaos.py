@@ -17,6 +17,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..checkpoint import CheckpointService, policy_named
 from ..cluster import SpriteCluster
 from ..fs import OpenMode
 from ..kernel import ProcState
@@ -74,11 +75,21 @@ class ChaosReport:
     jobs: int = 0
     jobs_finished: int = 0
     jobs_lost: int = 0
+    jobs_ok: int = 0
     migrations: int = 0
     refusals: int = 0
     faults: int = 0
     packets_blocked: int = 0
     packets_dropped: int = 0
+    policy: str = "migrate"
+    checkpoints: int = 0
+    restores: int = 0
+    torn_images: int = 0
+    unrecoverable: int = 0
+    #: Fraction of submitted jobs that completed with exit 0.
+    availability: float = 0.0
+    #: Successful job-seconds completed per second of wall (sim) time.
+    goodput: float = 0.0
     violations: List[str] = field(default_factory=list)
     fingerprint: str = ""
     events: List[str] = field(default_factory=list)
@@ -95,11 +106,19 @@ class ChaosReport:
             "jobs": self.jobs,
             "jobs_finished": self.jobs_finished,
             "jobs_lost": self.jobs_lost,
+            "jobs_ok": self.jobs_ok,
             "migrations": self.migrations,
             "refusals": self.refusals,
             "faults": self.faults,
             "packets_blocked": self.packets_blocked,
             "packets_dropped": self.packets_dropped,
+            "policy": self.policy,
+            "checkpoints": self.checkpoints,
+            "restores": self.restores,
+            "torn_images": self.torn_images,
+            "unrecoverable": self.unrecoverable,
+            "availability": self.availability,
+            "goodput": self.goodput,
             "violations": self.violations,
             "fingerprint": self.fingerprint,
             "events": self.events,
@@ -122,6 +141,34 @@ def _chaos_job(proc, index: int, work: float):
         yield from proc.write(fd, 4096)
         yield from proc.close(fd)
         yield from proc.compute(work * 0.6)
+    except Exception:  # noqa: BLE001 - any infra failure = nonzero exit
+        return 1
+    return 0
+
+
+def _chaos_job_resumable(proc, index: int, work: float, memory: int = 0):
+    """The chaos job, restart-aware.
+
+    Identical workload to :func:`_chaos_job`, but each compute stage is
+    guarded on ``pcb.cpu_time`` so a process restored from a checkpoint
+    (which banks the image's CPU progress into ``cpu_time``) skips the
+    work its image already paid for and re-runs only the remainder.
+    The file write is idempotent and simply re-executed.  ``memory``
+    sizes the address space, which sizes the checkpoint images.
+    """
+    pcb = proc.pcb
+    try:
+        if memory and pcb.vm.size < memory:
+            yield from proc.use_memory(memory)
+        if pcb.cpu_time < work * 0.4:
+            yield from proc.compute(work * 0.4 - pcb.cpu_time)
+        fd = yield from proc.open(
+            f"/tmp/chaos-{index}", OpenMode.WRITE | OpenMode.CREATE
+        )
+        yield from proc.write(fd, 4096)
+        yield from proc.close(fd)
+        if pcb.cpu_time < work:
+            yield from proc.compute(work - pcb.cpu_time)
     except Exception:  # noqa: BLE001 - any infra failure = nonzero exit
         return 1
     return 0
@@ -154,6 +201,10 @@ def run_chaos(
     detect_delay: Optional[float] = None,
     drain: Optional[float] = None,
     base: Optional[object] = None,
+    policy: str = "migrate",
+    checkpoint_interval: Optional[float] = None,
+    checkpoint_mode: str = "full",
+    job_memory: int = 0,
 ) -> ChaosReport:
     """One full chaos experiment; see the module docstring.
 
@@ -162,6 +213,12 @@ def run_chaos(
     (forked internally) or an already-forked cluster from it.  The
     report's ``seed``/``workstations`` then come from the base cluster
     itself, so the caller can't mislabel a run.
+
+    ``policy`` selects the fault-tolerance strategy (``migrate`` /
+    ``checkpoint`` / ``hybrid``, see :mod:`repro.checkpoint`).  The
+    default ``migrate`` path constructs no checkpoint machinery at all
+    and stays byte-identical to a build without it.  ``job_memory``
+    sizes each job's address space (hence its checkpoint images).
     """
     if base is None:
         cluster = SpriteCluster(
@@ -185,6 +242,18 @@ def run_chaos(
         cluster, plan, service=service, detect_delay=detect_delay
     ).start()
 
+    fault_policy = policy_named(policy)
+    checkpoints: Optional[CheckpointService] = None
+    if fault_policy.checkpointing:
+        checkpoints = CheckpointService(
+            cluster, injector=injector,
+            interval=checkpoint_interval, mode=checkpoint_mode,
+        )
+    # The plain job keeps the checkpoint-off trace byte-identical to a
+    # build without repro.checkpoint; the resumable variant is needed
+    # whenever restores can happen (or images should have a VM payload).
+    resumable = fault_policy.checkpointing or job_memory > 0
+
     # --- workload: jobs launched from the first two hosts, spread out
     # over the run, plus an orchestrator that load-shares them.
     launched: List = []
@@ -194,10 +263,21 @@ def run_chaos(
         for index in range(jobs):
             home = cluster.hosts[index % min(2, len(cluster.hosts))]
             if home.node.up:
-                pcb, _ctx = home.spawn_process(
-                    _chaos_job, index, job_length, name=f"chaos-{index}"
-                )
+                if resumable:
+                    pcb, _ctx = home.spawn_process(
+                        _chaos_job_resumable, index, job_length, job_memory,
+                        name=f"chaos-{index}",
+                    )
+                else:
+                    pcb, _ctx = home.spawn_process(
+                        _chaos_job, index, job_length, name=f"chaos-{index}"
+                    )
                 launched.append(pcb)
+                if checkpoints is not None:
+                    checkpoints.register(
+                        pcb, _chaos_job_resumable,
+                        index, job_length, job_memory,
+                    )
             yield Sleep(gap)
 
     def orchestrator():
@@ -226,7 +306,9 @@ def run_chaos(
                     pass
 
     spawn(cluster.sim, launcher(), name="chaos-launcher", daemon=True)
-    spawn(cluster.sim, orchestrator(), name="chaos-orchestrator", daemon=True)
+    if fault_policy.proactive_migration:
+        spawn(cluster.sim, orchestrator(), name="chaos-orchestrator",
+              daemon=True)
 
     cluster.run(until=duration)
     # Quiesce: heal the network, reboot the dead, let detection and
@@ -248,6 +330,13 @@ def run_chaos(
         1 for pcb in launched
         if pcb.task.done and isinstance(pcb.task.result, int)
     )
+    jobs_ok = sum(
+        1 for pcb in launched if pcb.task.done and pcb.task.result == 0
+    )
+    # Availability/goodput are computed from task results after the run
+    # (trace-free arithmetic: they cannot perturb the fingerprint).
+    horizon = duration + drain
+    ckpt_stats = checkpoints.stats() if checkpoints is not None else {}
     return ChaosReport(
         seed=seed,
         workstations=workstations,
@@ -255,11 +344,22 @@ def run_chaos(
         jobs=len(launched),
         jobs_finished=finished,
         jobs_lost=len(launched) - finished,
+        jobs_ok=jobs_ok,
         migrations=sum(1 for r in records if not r.refused),
         refusals=sum(1 for r in records if r.refused),
         faults=len(injector.log),
         packets_blocked=injector.fabric.blocked,
         packets_dropped=injector.fabric.dropped,
+        policy=fault_policy.name,
+        checkpoints=ckpt_stats.get("checkpoints", 0),
+        restores=ckpt_stats.get("restores", 0),
+        torn_images=(
+            ckpt_stats.get("torn_writes", 0)
+            + ckpt_stats.get("torn_skipped", 0)
+        ),
+        unrecoverable=ckpt_stats.get("unrecoverable", 0),
+        availability=jobs_ok / len(launched) if launched else 0.0,
+        goodput=(jobs_ok * job_length / horizon) if horizon > 0 else 0.0,
         violations=[str(v) for v in violations],
         fingerprint=trace_fingerprint(cluster.tracer),
         events=[str(event) for event in injector.log],

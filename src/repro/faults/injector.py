@@ -80,6 +80,11 @@ LoadSharingService` (or anything with ``.migd``); without it the migd
         self.crashed_hosts: Set[int] = set()
         self.orphaned = 0
         self.reaped = 0
+        #: Optional :class:`repro.checkpoint.RestartManager`; when set,
+        #: crash detection offers it the crashed host's victims.  The
+        #: call is synchronous and a no-op with nothing registered, so
+        #: checkpoint-off runs schedule zero extra events.
+        self.restart: Optional[Any] = None
         self._outage_spans: Dict[int, Any] = {}
         self._started = False
 
@@ -209,6 +214,8 @@ LoadSharingService` (or anything with ``.migd``); without it the migd
             server_host.server.client_crashed(address)
         if self.service is not None:
             self.service.migd.host_lost(address)
+        if self.restart is not None:
+            self.restart.host_lost(address)
         self._emit("crash_detected", address=address,
                    orphaned=self.orphaned, reaped=self.reaped)
 

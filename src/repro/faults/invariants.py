@@ -86,6 +86,17 @@ class InvariantChecker:
             return set()
         return set(self.injector.crashed_hosts)
 
+    def _checkpointed_pids(self) -> Set[int]:
+        """Pids whose state survives in an intact checkpoint image
+        (``cluster.checkpoints`` is set by
+        :class:`repro.checkpoint.CheckpointService`).  Such a pid is
+        accounted state even while no kernel holds a runnable copy —
+        the restart manager can bring it back."""
+        service = getattr(self.cluster, "checkpoints", None)
+        if service is None:
+            return set()
+        return service.accounted_pids()
+
     def _check_placement(self) -> List[Violation]:
         violations: List[Violation] = []
         crashed = self._crashed_hosts()
@@ -168,7 +179,8 @@ class InvariantChecker:
         crashed = self._crashed_hosts()
         excused: Set[int] = set()
         if self.injector is not None:
-            excused = self.injector.lost_pids()
+            excused |= self.injector.lost_pids()
+        excused |= self._checkpointed_pids()
         for pid in sorted(expected - accounted - excused):
             if home_of_pid(pid) in crashed:
                 continue
@@ -308,6 +320,9 @@ class InvariantChecker:
             expected = set(expected_pids)
         crashed = self._crashed_hosts()
         lost = self.injector.lost_pids() if self.injector else set()
+        # A checkpointed pid between crash and restore has no runnable
+        # copy anywhere, but its intact image is recoverable state.
+        lost |= self._checkpointed_pids()
         for pid in sorted(expected):
             copies = runnable_at.get(pid, [])
             if len(copies) > 1:

@@ -170,6 +170,14 @@ class Pcb:
     #: Signals delivered to (and caught by) the program, for inspection.
     signals_received: List[int] = field(default_factory=list)
     task: Any = None                # the sim Task executing the program
+    #: Set while a checkpoint image of this process is being written;
+    #: mutually exclusive with migration (the txn lease and the image
+    #: must never race over the same process state).
+    checkpoint_lock: bool = False
+    #: CPU seconds already banked by the checkpoint image this process
+    #: was last restored from (0.0 for a never-restored process).
+    #: Restart-aware programs read it to skip completed work.
+    restored_progress: float = 0.0
 
     @property
     def is_remote(self) -> bool:

@@ -66,6 +66,14 @@ from ..obs.spans import (
     SpanTracer,
 )
 from ..sim import Effect, SimClock, SimEvent, Sleep, Tracer, first, spawn
+from .packaging import (
+    discard_imports,
+    export_streams,
+    import_streams,
+    install_payload,
+    state_bytes,
+    stream_bytes,
+)
 from .txn import MigrationJournal, MigrationTxn, TxnState
 from .vm import FlushToServer, VmOutcome, VmPolicy, make_policy
 
@@ -517,6 +525,10 @@ class MigrationManager:
             raise MigrationRefused(
                 f"pid {pcb.pid} is not resident on {self.host.name}"
             )
+        if pcb.checkpoint_lock:
+            raise MigrationRefused(
+                f"pid {pcb.pid} is being checkpointed (image in progress)"
+            )
         if target == self.address:
             raise MigrationRefused("source and target are the same host")
 
@@ -684,14 +696,13 @@ class MigrationManager:
         # Each export is preceded by an *intent* undo entry, so a crash
         # or failure mid-loop can roll back exactly the exports that may
         # have touched the server — including the one that failed.
-        stream_states = []
+        def _export_intent(fd: int, stream: Any) -> Any:
+            return txn.push_undo("stream", fd=fd, stream=stream, state=None)
+
         try:
-            for fd in sorted(pcb.streams):
-                stream = pcb.streams[fd]
-                entry = txn.push_undo("stream", fd=fd, stream=stream, state=None)
-                state = yield from self.host.fs.export_stream(stream, target)
-                entry.detail["state"] = state
-                stream_states.append((fd, state))
+            stream_states = yield from export_streams(
+                self.host.fs, pcb, target, on_export=_export_intent
+            )
         except (RpcError, FsError) as err:
             self._abandon_if_crashed(epoch, txn)
             yield from self._abort_txn(pcb, target, txn, epoch)
@@ -703,8 +714,8 @@ class MigrationManager:
             )
         self._abandon_if_crashed(epoch, txn)
         record.streams_moved = len(stream_states)
-        record.stream_bytes = len(stream_states) * params.stream_transfer_bytes
-        record.state_bytes = params.migration_state_bytes + extra_bytes
+        record.stream_bytes = stream_bytes(params, len(stream_states))
+        record.state_bytes = state_bytes(params, extra_bytes)
         self._journal_step(txn, epoch, "streams_exported",
                            count=record.streams_moved)
         if root is not None:
@@ -721,13 +732,7 @@ class MigrationManager:
                 f"pid {pcb.pid} died while its state was being packaged",
                 root,
             )
-        payload = {
-            "pcb": pcb,
-            "pid": pcb.pid,
-            "ticket": txn.ticket_id,
-            "streams": stream_states,
-            "cpu_time": pcb.cpu_time,
-        }
+        payload = install_payload(pcb, txn.ticket_id, stream_states)
         wire_bytes = record.state_bytes + record.stream_bytes
         try:
             reply = yield from self.host.rpc.call(
@@ -1339,8 +1344,7 @@ class MigrationManager:
         if lease.install is not None:
             # The source still owns the stream references (its abort or
             # recovery pulls them back); only local records go.
-            for stream in lease.install.streams.values():
-                self.host.fs.forget_stream(stream)
+            discard_imports(self.host.fs, lease.install.streams)
             lease.install = None
         lease.status = "reaped"
         if self.tracer.enabled:
@@ -1398,14 +1402,10 @@ class MigrationManager:
             reserved_bytes=lease.reserved_bytes,
             cpu_time=payload.get("cpu_time", 0.0),
         )
-        failure: Optional[BaseException] = None
-        for fd, state in payload["streams"]:
-            try:
-                stream = yield from self.host.fs.import_stream(state)
-            except (RpcError, FsError) as err:
-                failure = err
-                break
-            pending.streams[fd] = stream
+        imported, failure = yield from import_streams(
+            self.host.fs, payload["streams"]
+        )
+        pending.streams.update(imported)
         # Re-validate after the yields: the host may have crashed (and
         # even rebooted) or the reaper may have fired mid-install; a
         # zombie service task must not resurrect state either way.
@@ -1414,12 +1414,10 @@ class MigrationManager:
             or not self.host.node.up
             or self._tickets.get(key) is not lease
         ):
-            for stream in pending.streams.values():
-                self.host.fs.forget_stream(stream)
+            discard_imports(self.host.fs, pending.streams)
             return {"installed": False, "why": "lease lost during install"}
         if failure is not None:
-            for stream in pending.streams.values():
-                self.host.fs.forget_stream(stream)
+            discard_imports(self.host.fs, pending.streams)
             lease.status = "issued"
             return {"installed": False, "why": f"stream import failed: {failure}"}
         # Each protocol message renews the lease (the reaper re-checks).
@@ -1495,8 +1493,7 @@ class MigrationManager:
         self._tickets.pop(key, None)
         self._free_reservation(lease)
         if lease.install is not None:
-            for stream in lease.install.streams.values():
-                self.host.fs.forget_stream(stream)
+            discard_imports(self.host.fs, lease.install.streams)
             lease.install = None
         lease.status = "released"
         if self.tracer.enabled:

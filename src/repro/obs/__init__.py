@@ -41,6 +41,9 @@ from .install import ClusterObservability
 from .metrics import Counter, Gauge, MetricsRegistry, MetricsSampler, Timer
 from .profile import EngineProfiler
 from .spans import (
+    CKPT_CHECKPOINT,
+    CKPT_RESTORE,
+    CKPT_WRITE,
     EVICT_RECLAIM,
     FAULT_OUTAGE,
     KERNEL_FORWARD,
@@ -66,6 +69,9 @@ from .spans import (
 )
 
 __all__ = [
+    "CKPT_CHECKPOINT",
+    "CKPT_RESTORE",
+    "CKPT_WRITE",
     "EVICT_RECLAIM",
     "FAULT_OUTAGE",
     "KERNEL_FORWARD",

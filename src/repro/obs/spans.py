@@ -49,6 +49,9 @@ __all__ = [
     "RPC_CALL",
     "RPC_SERVE",
     "FAULT_OUTAGE",
+    "CKPT_CHECKPOINT",
+    "CKPT_WRITE",
+    "CKPT_RESTORE",
 ]
 
 #: Trace-record kind under which finished spans are mirrored.
@@ -90,6 +93,13 @@ RPC_CALL = "rpc.call"
 RPC_SERVE = "rpc.serve"
 FAULT_OUTAGE = "fault.outage"
 
+#: Checkpoint/restart lifecycle (``repro.checkpoint``): one checkpoint
+#: of one process (root), the backing-file image write inside it, and
+#: a crash-triggered restore on a surviving host.
+CKPT_CHECKPOINT = "ckpt.checkpoint"
+CKPT_WRITE = "ckpt.write"
+CKPT_RESTORE = "ckpt.restore"
+
 #: The registered span names; membership is lint-enforced at emit sites.
 SPAN_CATALOGUE = frozenset({
     MIG_MIGRATE,
@@ -110,6 +120,9 @@ SPAN_CATALOGUE = frozenset({
     RPC_CALL,
     RPC_SERVE,
     FAULT_OUTAGE,
+    CKPT_CHECKPOINT,
+    CKPT_WRITE,
+    CKPT_RESTORE,
 })
 
 

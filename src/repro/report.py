@@ -41,6 +41,7 @@ EXPERIMENT_ORDER: List[Tuple[str, str]] = [
     ("P1_engine", "Engine throughput microbenchmarks (infrastructure)"),
     ("P2_sweep", "Snapshot/fork sweep runner cost model (infrastructure)"),
     ("P3_faults", "Fault-injection overhead + chaos gauntlet (infrastructure)"),
+    ("P8_checkpoint", "Migration vs checkpoint/restart tradeoff study"),
 ]
 
 HEADER = """\

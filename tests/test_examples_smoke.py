@@ -38,3 +38,13 @@ def test_eviction_demo_runs(capsys):
     out = capsys.readouterr().out
     assert "eviction on" in out
     assert "placement" in out and "sprite" in out
+
+
+def test_checkpoint_restart_demo_runs(capsys):
+    run_example("checkpoint_restart_demo.py")
+    out = capsys.readouterr().out
+    assert "restores: 1" in out
+    assert "worker finished: True" in out
+    assert "intact=False" in out
+    assert "skipping 1 torn image(s)" in out
+    assert "hybrid" in out and "clean=True" in out

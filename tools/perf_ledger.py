@@ -53,6 +53,10 @@ BENCHMARKS = {
         "benchmarks/bench_faults.py",
         ["--max-overhead", "10", "--max-journal-overhead", "10"],
     ),
+    "bench_checkpoint": (
+        "benchmarks/bench_checkpoint.py",
+        ["--max-idle-overhead", "10"],
+    ),
 }
 
 
