@@ -12,6 +12,11 @@ in three configurations:
   with an *empty* plan: the link fabric answers every message, but no
   fault ever fires.  This is the worst case a fault-aware-but-healthy
   experiment pays.
+* ``capped_injector`` — the idle injector plus every backpressure cap
+  enabled at a bound the workload never reaches: admission checks run
+  on every migration but never bind, so the event schedule must be
+  *identical* to ``idle_injector`` (the strict zero-cost-when-off pin
+  for the overload-backpressure layer).
 * ``chaos_smoke``    — informative only: a short ``run_chaos`` gauntlet,
   so the cost of an actual fault storm is on record next to the idle
   numbers.
@@ -72,13 +77,33 @@ SIZES = {
 ENGINE_BASELINE = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
 
-def _run_e10(hosts: int, duration: float, with_injector: bool) -> Callable[[], Any]:
+def _run_e10(
+    hosts: int, duration: float, with_injector: bool, with_caps: bool = False
+) -> Callable[[], Any]:
     def build_and_run():
         from repro import SpriteCluster
         from repro.loadsharing import LoadSharingService
         from repro.workloads import ActivityModel, UsageSimulation
 
-        cluster = SpriteCluster(workstations=hosts, start_daemons=True, seed=3)
+        if with_caps:
+            # Backpressure caps on, but orders of magnitude above what
+            # the workload can reach: checked on every migration, bound
+            # on none.
+            from repro.config import ClusterParams
+
+            params = ClusterParams(
+                seed=3,
+                migration_max_incoming=1_000_000,
+                migration_max_outgoing=1_000_000,
+                migd_max_pending=1_000_000,
+            )
+            cluster = SpriteCluster(
+                workstations=hosts, start_daemons=True, params=params
+            )
+        else:
+            cluster = SpriteCluster(
+                workstations=hosts, start_daemons=True, seed=3
+            )
         service = LoadSharingService(cluster, architecture="centralized")
         cluster.standard_images()
         if with_injector:
@@ -182,12 +207,21 @@ def run_all(smoke: bool = False, repeats: int = 3) -> Dict[str, Any]:
     results: Dict[str, Any] = {
         "no_injector": _timed_row(_run_e10(hosts, duration, False), repeats),
         "idle_injector": _timed_row(_run_e10(hosts, duration, True), repeats),
+        "capped_injector": _timed_row(
+            _run_e10(hosts, duration, True, with_caps=True), repeats
+        ),
     }
     # An idle fabric must not perturb the simulation itself: no RNG
     # draws, no extra delays, so the event count is identical.
     assert results["idle_injector"]["events"] == results["no_injector"]["events"], (
         "idle injector changed the event schedule: "
         f"{results['idle_injector']['events']} != {results['no_injector']['events']}"
+    )
+    # Backpressure caps that never bind are pure comparisons: they must
+    # not add, remove, or reorder a single event either.
+    assert results["capped_injector"]["events"] == results["no_injector"]["events"], (
+        "unbinding backpressure caps changed the event schedule: "
+        f"{results['capped_injector']['events']} != {results['no_injector']['events']}"
     )
     results["overhead_ratio"] = round(
         results["idle_injector"]["wall_s"] / results["no_injector"]["wall_s"], 4
@@ -256,7 +290,7 @@ def render(results: Dict[str, Any], mode: str) -> str:
         f"P3: fault-injection overhead ({mode} sizes, best-of-N wall time)",
         f"{'configuration':<16} {'events':>10} {'wall_s':>10} {'events/s':>12}",
     ]
-    for name in ("no_injector", "idle_injector"):
+    for name in ("no_injector", "idle_injector", "capped_injector"):
         row = results[name]
         lines.append(
             f"{name:<16} {row['events']:>10,.0f} {row['wall_s']:>10.3f} "

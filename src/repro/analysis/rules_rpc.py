@@ -11,7 +11,10 @@ test may never walk.  These rules close the loop statically:
 * every registered service name is called somewhere (dead services are
   usually a rename that missed the call sites);
 * every registered handler is a generator function, since the RPC
-  server drives handlers with ``yield from``.
+  server drives handlers with ``yield from``;
+* a handler registered ``idempotent=True`` opts out of the exactly-once
+  dedup cache, so it must not mutate server state — a duplicated packet
+  re-executes it.
 
 Call-site names are resolved through module constants, class constants
 (``self.GOSSIP_SERVICE``) and one level of forwarding helpers — a
@@ -220,6 +223,94 @@ def _handler_sites(tree: Tree):
     return handlers
 
 
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear",
+})
+
+
+def _roots_at_self(node: ast.AST) -> bool:
+    """Does this attribute/subscript chain start at ``self``?"""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _mutates_self(func: ast.AST) -> Optional[ast.AST]:
+    """First statement in ``func`` that mutates ``self`` state, if any.
+
+    Catches direct writes (``self.x = ...``, ``self.x[k] = ...``,
+    ``self.x += ...``, ``del self.x[...]``) and in-place mutator calls
+    (``self.cache.pop(...)``, ``self.seen.add(...)``).  Reads, locals
+    and yields are fine — an idempotent handler may compute, just not
+    leave a mark.
+    """
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    if any(_roots_at_self(el) for el in target.elts):
+                        return node
+                elif (
+                    isinstance(target, (ast.Attribute, ast.Subscript))
+                    and _roots_at_self(target)
+                ):
+                    return node
+        elif isinstance(node, ast.Delete):
+            if any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                and _roots_at_self(t)
+                for t in node.targets
+            ):
+                return node
+        elif isinstance(node, ast.Call):
+            target = node.func
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in _MUTATORS
+                and _roots_at_self(target.value)
+            ):
+                return node
+    return None
+
+
+class IdempotentHandlerMutatesRule(Rule):
+    id = "rpc-idempotency"
+    description = (
+        "A handler registered idempotent=True bypasses the exactly-once "
+        "dedup cache; it must not mutate server state, or duplicated "
+        "packets double-apply it."
+    )
+
+    def check(self, tree: Tree) -> Iterable[Finding]:
+        for module, call, handler in _handler_sites(tree):
+            if not any(
+                kw.arg == "idempotent"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in call.keywords
+            ):
+                continue
+            func = _resolve_handler(module, handler)
+            if func is None:
+                continue  # can't resolve: don't guess
+            mutation = _mutates_self(func)
+            if mutation is not None:
+                yield module.finding(
+                    self.id,
+                    call,
+                    f"handler `{dotted_name(handler)}` is registered "
+                    "idempotent=True but mutates self state "
+                    f"(line {mutation.lineno}); drop the flag so the "
+                    "dedup cache replays it, or make it read-only",
+                )
+
+
 def _resolve_handler(
     module: ModuleInfo, handler: ast.AST
 ) -> Optional[ast.AST]:
@@ -244,3 +335,4 @@ def _resolve_handler(
 register_rule(UnregisteredServiceRule())
 register_rule(UnusedServiceRule())
 register_rule(HandlerNotGeneratorRule())
+register_rule(IdempotentHandlerMutatesRule())

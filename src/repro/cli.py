@@ -402,6 +402,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 checkpoint_interval=args.checkpoint_interval,
                 checkpoint_mode=args.checkpoint_mode,
                 job_memory=args.job_memory,
+                adversarial=args.adversarial,
             )
 
         pair = SweepRunner(base, workers=args.workers).run(
@@ -424,6 +425,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                   f"({report.jobs_finished} finished, {report.jobs_lost} lost), "
                   f"{report.migrations} migrations, {report.refusals} refusals, "
                   f"{report.faults} faults, fingerprint {report.fingerprint[:16]}")
+            if args.adversarial:
+                print(f"    adversarial: "
+                      f"{report.packets_duplicated} duplicated / "
+                      f"{report.packets_reordered} reordered / "
+                      f"{report.packets_corrupted} corrupted packets, "
+                      f"{report.checksum_drops} checksum drops, "
+                      f"{report.duplicates_suppressed} dupes suppressed, "
+                      f"{report.dedup_replays} replays, "
+                      f"{report.double_executions} double executions")
+                print(f"    detector: {report.suspicions_declared} declared, "
+                      f"{report.false_suspicions} false, "
+                      f"{report.reconciles} reconciled; "
+                      f"backpressure {report.backpressure_refusals} refusals, "
+                      f"{report.inbox_overflows} inbox overflows")
             if report.policy != "migrate":
                 print(f"    policy {report.policy}: "
                       f"{report.checkpoints} checkpoints, "
@@ -586,6 +601,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sim seconds of chaos before quiescing")
     chaos.add_argument("--jobs", type=int, default=12,
                        help="background jobs to run under churn")
+    chaos.add_argument("--adversarial", action="store_true",
+                       help="adversarial network: duplicating/reordering/"
+                            "corrupting links, suspicion-based failure "
+                            "detector, migration backpressure caps")
     chaos.add_argument("--churn", action="store_true",
                        help="seeded-random host churn instead of the "
                             "scripted gauntlet")

@@ -53,6 +53,16 @@ class ClusterParams:
     rpc_backoff_base: float = 0.2
     rpc_backoff_cap: float = 2.0
     rpc_backoff_jitter: float = 0.25
+    #: Server-side exactly-once window: completed requests remembered
+    #: per port so a duplicate (retry or duplicating link) replays the
+    #: recorded reply instead of re-executing the handler.  Sized well
+    #: above the number of requests a client can have outstanding
+    #: inside one retry window; ``0`` disables dedup entirely.
+    rpc_dedup_cache: int = 512
+    #: Per-node inbox capacity in packets; ``0`` means unbounded.  A
+    #: full inbox is a *counted* drop (the sender discovers it by
+    #: timeout and backs off), never an exception.
+    net_inbox_capacity: int = 0
 
     # --- CPU / kernel ---------------------------------------------------
     #: Relative CPU speed of every host (1.0 = Sun-3 class).
@@ -144,6 +154,31 @@ class ClusterParams:
     availability_period: float = 5.0
     #: Pause before a reclaimed host's foreign processes must be gone.
     eviction_grace: float = 1.0
+
+    # --- backpressure -----------------------------------------------------
+    #: Target-side cap on concurrent incoming migration leases; beyond
+    #: it ``mig.negotiate`` answers :class:`~repro.net.RetryLaterError`
+    #: (backpressure, distinct from refusal or death).  ``0`` = no cap.
+    migration_max_incoming: int = 0
+    #: Source-side cap on concurrently *driving* outbound migrations;
+    #: beyond it ``migrate()`` refuses immediately with a counted
+    #: "source busy" refusal instead of piling onto the network. ``0``
+    #: = no cap.
+    migration_max_outgoing: int = 0
+    #: migd admission control: selection requests queued beyond this
+    #: are answered "busy" without running selection, and the client
+    #: degrades to local execution.  ``0`` = no cap.
+    migd_max_pending: int = 0
+
+    # --- failure detection (suspicion-based, repro.faults.detector) --------
+    #: Heartbeat sampling period of the accrual failure detector.
+    heartbeat_period: float = 2.0
+    #: Consecutive missed heartbeats before a host is declared dead.
+    suspicion_threshold: int = 3
+    #: Extra misses required per recent flap (damping), and the cap on
+    #: the damped threshold.
+    suspicion_flap_penalty: int = 2
+    suspicion_max_threshold: int = 8
 
     # --- faults -----------------------------------------------------------
     #: How long after a host crash the rest of the cluster acts on it

@@ -12,14 +12,17 @@ reproducible:
   latency spikes, consulted by the LAN per message.
 * :mod:`.injector`   — :class:`FaultInjector`: executes plans, drives
   host crash/reboot, migd and FS-server outages, crash detection.
+* :mod:`.detector`   — :class:`FailureDetector`: heartbeat-driven
+  suspicion accrual with flap damping and false-suspicion reconcile;
+  replaces the fixed detection delay when attached.
 * :mod:`.invariants` — :class:`InvariantChecker`: no process lost or
   duplicated, migration ledger consistent, fault accounting balanced.
 * :mod:`.chaos`      — :func:`run_chaos`: workload + plan + audit, with
   a trace fingerprint for byte-identical determinism checks
   (``python -m repro chaos``).
 * :mod:`.crashmatrix` — :func:`run_matrix`: the exhaustive {source,
-  target, home, FS server} x {crash, partition} x txn-step-boundary
-  sweep over the migration transaction
+  target, home, FS server} x {crash, partition, flaky} x
+  txn-step-boundary sweep over the migration transaction
   (``python -m repro chaos --crash-matrix``).
 
 Everything is zero-cost when absent: a cluster with no injector runs
@@ -28,6 +31,7 @@ the exact same instruction path as before this package existed.
 
 from .chaos import (
     ChaosReport,
+    adversarial_plan,
     build_chaos_base,
     builtin_plan,
     run_chaos,
@@ -43,7 +47,8 @@ from .crashmatrix import (
     run_cell,
     run_matrix,
 )
-from .fabric import LinkFabric, LinkState
+from .detector import FailureDetector, HostWatch
+from .fabric import LinkFabric, LinkState, UnicastVerdict
 from .injector import FaultEvent, FaultInjector
 from .invariants import InvariantChecker, Violation
 from .plan import FAULT_KINDS, FaultAction, FaultPlan
@@ -54,15 +59,19 @@ __all__ = [
     "MATRIX_VICTIMS",
     "CellResult",
     "ChaosReport",
+    "FailureDetector",
     "FaultAction",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "HostWatch",
     "InvariantChecker",
     "LinkFabric",
     "LinkState",
     "MatrixReport",
+    "UnicastVerdict",
     "Violation",
+    "adversarial_plan",
     "build_chaos_base",
     "build_matrix_base",
     "builtin_plan",

@@ -30,6 +30,7 @@ from .plan import FaultPlan
 
 __all__ = [
     "ChaosReport",
+    "adversarial_plan",
     "build_chaos_base",
     "run_chaos",
     "trace_fingerprint",
@@ -65,6 +66,33 @@ def builtin_plan(cluster, duration: float) -> FaultPlan:
     return plan
 
 
+def adversarial_plan(cluster, duration: float) -> FaultPlan:
+    """The builtin gauntlet plus an adversarial network underneath it.
+
+    Everything :func:`builtin_plan` does, and in addition the busiest
+    links spend most of the run duplicating, reordering, and corrupting
+    messages — the environment the exactly-once RPC layer, checksum
+    drops, and suspicion damping exist for.  Per-message outcomes are
+    drawn from ``faults.net``, so a fixed seed still yields a
+    byte-identical trace.
+    """
+    hosts = cluster.hosts
+    t = duration / 100.0
+    plan = builtin_plan(cluster, duration)
+    if len(hosts) >= 2:
+        # The two job-launching homes talk the most: duplicate and
+        # reorder their traffic for most of the run.
+        plan.link(5 * t, hosts[0], hosts[1],
+                  duplicate=0.25, reorder=0.2, reorder_window=0.003)
+        plan.link_clear(85 * t, hosts[0], hosts[1])
+    if len(hosts) >= 3:
+        # Corruption on a migration-target path: checksum drops force
+        # retries, which the dedup cache must absorb.
+        plan.link(15 * t, hosts[1], hosts[2], corrupt=0.12, duplicate=0.15)
+        plan.link_clear(80 * t, hosts[1], hosts[2])
+    return plan
+
+
 @dataclass
 class ChaosReport:
     """What happened, whether it was legal, and how to reproduce it."""
@@ -90,6 +118,21 @@ class ChaosReport:
     availability: float = 0.0
     #: Successful job-seconds completed per second of wall (sim) time.
     goodput: float = 0.0
+    #: Adversarial-network accounting (all zero on clean fabrics).
+    packets_duplicated: int = 0
+    packets_reordered: int = 0
+    packets_corrupted: int = 0
+    checksum_drops: int = 0
+    duplicates_suppressed: int = 0
+    dedup_replays: int = 0
+    double_executions: int = 0
+    inbox_overflows: int = 0
+    #: Failure-detector accounting (zero without ``detector=True``).
+    suspicions_declared: int = 0
+    false_suspicions: int = 0
+    reconciles: int = 0
+    #: Admission-control refusals (migd busy + per-host caps).
+    backpressure_refusals: int = 0
     violations: List[str] = field(default_factory=list)
     fingerprint: str = ""
     events: List[str] = field(default_factory=list)
@@ -119,6 +162,18 @@ class ChaosReport:
             "unrecoverable": self.unrecoverable,
             "availability": self.availability,
             "goodput": self.goodput,
+            "packets_duplicated": self.packets_duplicated,
+            "packets_reordered": self.packets_reordered,
+            "packets_corrupted": self.packets_corrupted,
+            "checksum_drops": self.checksum_drops,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "dedup_replays": self.dedup_replays,
+            "double_executions": self.double_executions,
+            "inbox_overflows": self.inbox_overflows,
+            "suspicions_declared": self.suspicions_declared,
+            "false_suspicions": self.false_suspicions,
+            "reconciles": self.reconciles,
+            "backpressure_refusals": self.backpressure_refusals,
             "violations": self.violations,
             "fingerprint": self.fingerprint,
             "events": self.events,
@@ -205,6 +260,8 @@ def run_chaos(
     checkpoint_interval: Optional[float] = None,
     checkpoint_mode: str = "full",
     job_memory: int = 0,
+    adversarial: bool = False,
+    detector: Optional[bool] = None,
 ) -> ChaosReport:
     """One full chaos experiment; see the module docstring.
 
@@ -219,7 +276,16 @@ def run_chaos(
     default ``migrate`` path constructs no checkpoint machinery at all
     and stays byte-identical to a build without it.  ``job_memory``
     sizes each job's address space (hence its checkpoint images).
+
+    ``adversarial=True`` selects the hostile profile: the
+    :func:`adversarial_plan` gauntlet (duplicating / reordering /
+    corrupting links on top of the builtin faults), modest migration
+    and migd admission caps so backpressure actually engages, and —
+    unless overridden via ``detector`` — the suspicion-based failure
+    detector in place of the fixed detection delay.
     """
+    if detector is None:
+        detector = adversarial
     if base is None:
         cluster = SpriteCluster(
             workstations=workstations, seed=seed, trace=True
@@ -231,16 +297,32 @@ def run_chaos(
         service = cluster.extras["service"]
         seed = cluster.params.seed
         workstations = len(cluster.hosts)
+    if adversarial:
+        # Engage the admission caps (the cluster's params object is
+        # shared by every host, so this configures them all).  Only
+        # fill in caps the caller left at the disabled default.
+        params = cluster.params
+        if params.migration_max_incoming == 0:
+            params.migration_max_incoming = 4
+        if params.migration_max_outgoing == 0:
+            params.migration_max_outgoing = 8
+        if params.migd_max_pending == 0:
+            params.migd_max_pending = 8
     if plan is None:
         if random_churn:
             plan = FaultPlan.random(
-                cluster.rng, cluster.hosts[1:], duration * 0.8, mtbf=mtbf
+                cluster.rng, cluster.hosts[1:], duration * 0.8, mtbf=mtbf,
+                adversarial=adversarial,
             )
+        elif adversarial:
+            plan = adversarial_plan(cluster, duration)
         else:
             plan = builtin_plan(cluster, duration)
     injector = FaultInjector(
         cluster, plan, service=service, detect_delay=detect_delay
     ).start()
+    if detector:
+        injector.attach_detector()
 
     fault_policy = policy_named(policy)
     checkpoints: Optional[CheckpointService] = None
@@ -320,6 +402,13 @@ def run_chaos(
             + 3 * cluster.params.availability_period
             + 2 * job_length
         )
+        if injector.detector is not None:
+            # Suspicion accrual needs up to max_threshold missed beats
+            # before it declares, plus one beat to reconcile after the
+            # heal — give the monitor time to settle.
+            drain += cluster.params.heartbeat_period * (
+                cluster.params.suspicion_max_threshold + 2
+            )
     cluster.run(until=duration + drain)
 
     checker = InvariantChecker(cluster, injector)
@@ -337,6 +426,15 @@ def run_chaos(
     # (trace-free arithmetic: they cannot perturb the fingerprint).
     horizon = duration + drain
     ckpt_stats = checkpoints.stats() if checkpoints is not None else {}
+    ports = [host.rpc for host in cluster.hosts]
+    ports += [sh.rpc for sh in cluster.server_hosts]
+    managers = list(cluster.managers.values())
+    det = injector.detector
+    backpressure = (
+        service.migd.refused_busy
+        + sum(m.refused_incoming_busy for m in managers)
+        + sum(m.refused_outgoing_cap for m in managers)
+    )
     return ChaosReport(
         seed=seed,
         workstations=workstations,
@@ -360,6 +458,18 @@ def run_chaos(
         unrecoverable=ckpt_stats.get("unrecoverable", 0),
         availability=jobs_ok / len(launched) if launched else 0.0,
         goodput=(jobs_ok * job_length / horizon) if horizon > 0 else 0.0,
+        packets_duplicated=injector.fabric.duplicated,
+        packets_reordered=injector.fabric.reordered,
+        packets_corrupted=injector.fabric.corrupted,
+        checksum_drops=sum(p.checksum_failures for p in ports),
+        duplicates_suppressed=sum(p.duplicates_suppressed for p in ports),
+        dedup_replays=sum(p.replays_sent for p in ports),
+        double_executions=sum(p.double_executions for p in ports),
+        inbox_overflows=cluster.lan.inbox_overflows,
+        suspicions_declared=det.declared if det is not None else 0,
+        false_suspicions=det.false_suspicions if det is not None else 0,
+        reconciles=det.reconciles if det is not None else 0,
+        backpressure_refusals=backpressure,
         violations=[str(v) for v in violations],
         fingerprint=trace_fingerprint(cluster.tracer),
         events=[str(event) for event in injector.log],

@@ -5,18 +5,22 @@ that a fault at *any* point of a migration leaves the cluster with
 exactly one live copy of the process and nothing leaked.  This module
 tests that claim literally: one **cell** per element of
 
-    {source, target, home, FS server} x {crash, partition}
+    {source, target, home, FS server} x {crash, partition, flaky}
                                       x every txn-journal step boundary
 
-(:data:`~repro.migration.TXN_STEPS` — 11 boundaries, so 88 cells).
+(:data:`~repro.migration.TXN_STEPS` — 11 boundaries, so 132 cells).
 Each cell builds a fresh three-workstation cluster, starts a defensive
 victim process on its *home* host with an open scratch file, migrates
 it once (home → source) so every protocol role is a distinct machine,
 then arms the journal's synchronous ``on_step`` hook and migrates again
 (source → target).  The instant the armed step is journaled the fault
 fires: a full host crash (rebooted a few seconds later, inside the
-detection window) or a network partition isolating the victim machine
-(healed before the ticket lease can expire).  Right at that instant the
+detection window), a network partition isolating the victim machine
+(healed before the ticket lease can expire), or an adversarial *flaky*
+episode where every link touching the victim starts duplicating,
+reordering and corrupting messages — the migration must still land
+exactly once, carried by the RPC layer's checksums, request ids and
+server-side dedup cache.  Right at that instant the
 cell runs :meth:`~repro.faults.InvariantChecker.audit_in_flight` —
 exactly one runnable copy cluster-wide, inactive lease-held copies
 allowed — and after a quiesce period long enough for every lease TTL,
@@ -30,7 +34,7 @@ byte-identical trace — :func:`run_matrix` fingerprints every cell and
 the golden test runs the matrix twice and compares.
 
 ``python -m repro chaos --crash-matrix`` runs the matrix from the
-command line; ``--cells N`` bounds it to every ``ceil(88/N)``-th cell
+command line; ``--cells N`` bounds it to every ``ceil(132/N)``-th cell
 for the CI smoke.
 """
 
@@ -68,8 +72,11 @@ MATRIX_VICTIMS = ("source", "target", "home", "fs")
 
 #: ``crash`` = full machine crash (volatile state lost, reboot after
 #: :data:`REBOOT_AFTER`); ``partition`` = the machine drops off the
-#: network without losing state (healed after :data:`HEAL_AFTER`).
-MATRIX_KINDS = ("crash", "partition")
+#: network without losing state (healed after :data:`HEAL_AFTER`);
+#: ``flaky`` = every link to the machine starts duplicating, reordering
+#: and corrupting messages (cleared after :data:`FLAKY_CLEAR`) — the
+#: adversarial-network case the exactly-once RPC layer must absorb.
+MATRIX_KINDS = ("crash", "partition", "flaky")
 
 #: Reboot delay after a crash — shorter than the default crash-detection
 #: delay (10 s), so cells exercise the "came back before the survivors
@@ -80,6 +87,18 @@ REBOOT_AFTER = 4.0
 #: partitioned transfer may still resolve its lease rather than always
 #: timing out.
 HEAL_AFTER = 12.0
+
+#: How long a ``flaky`` cell's adversarial links stay impaired — long
+#: enough to cover the whole transfer (duplicated commits, corrupted
+#: installs, reordered replies), short enough to quiesce well inside
+#: the cell horizon.
+FLAKY_CLEAR = 20.0
+
+#: Per-message probabilities a ``flaky`` cell applies to every link of
+#: the victim machine.
+FLAKY_DUPLICATE = 0.3
+FLAKY_REORDER = 0.25
+FLAKY_CORRUPT = 0.1
 
 #: Sim seconds a cell runs after arming; long enough for the fault
 #: (fires within the first migration seconds), every retry/backoff
@@ -258,9 +277,17 @@ def run_cell(
             else:
                 injector.crash_host(victim_node)
             spawn(cluster.sim, _recover(), name="matrix-recover", daemon=True)
-        else:
+        elif kind == "partition":
             injector.partition([victim_node.node.address])
             spawn(cluster.sim, _heal(), name="matrix-heal", daemon=True)
+        else:  # flaky: impair every link touching the victim machine
+            for peer in _peer_addresses():
+                injector.set_link(
+                    victim_node.node.address, peer,
+                    duplicate=FLAKY_DUPLICATE, reorder=FLAKY_REORDER,
+                    corrupt=FLAKY_CORRUPT,
+                )
+            spawn(cluster.sim, _unflake(), name="matrix-unflake", daemon=True)
         # The in-flight audit, at the crash instant itself.
         violations, inactive = checker.audit_in_flight([pcb.pid])
         result.in_flight_violations = [str(v) for v in violations]
@@ -276,6 +303,18 @@ def run_cell(
     def _heal() -> Generator[Effect, None, None]:
         yield Sleep(HEAL_AFTER)
         injector.heal()
+
+    def _peer_addresses() -> List[int]:
+        nodes = list(cluster.hosts) + list(cluster.server_hosts)
+        return [
+            n.node.address for n in nodes
+            if n.node.address != victim_node.node.address
+        ]
+
+    def _unflake() -> Generator[Effect, None, None]:
+        yield Sleep(FLAKY_CLEAR)
+        for peer in _peer_addresses():
+            injector.clear_link(victim_node.node.address, peer)
 
     def driver() -> Generator[Effect, None, None]:
         yield Sleep(1.0)

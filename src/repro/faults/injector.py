@@ -85,6 +85,10 @@ LoadSharingService` (or anything with ``.migd``); without it the migd
         #: call is synchronous and a no-op with nothing registered, so
         #: checkpoint-off runs schedule zero extra events.
         self.restart: Optional[Any] = None
+        #: Optional :class:`repro.faults.FailureDetector`; while one is
+        #: attached, crashes are *not* auto-detected after the fixed
+        #: delay — the detector's heartbeat monitor declares them.
+        self.detector: Optional[Any] = None
         self._outage_spans: Dict[int, Any] = {}
         self._started = False
 
@@ -180,12 +184,13 @@ LoadSharingService` (or anything with ``.migd``); without it the migd
             )
         self._emit("host_crash", host=host.name, address=host.address,
                    lost=len(lost))
-        spawn(
-            self.cluster.sim,
-            self._detect_crash(host.address),
-            name=f"crash-detect:{host.name}",
-            daemon=True,
-        )
+        if self.detector is None:
+            spawn(
+                self.cluster.sim,
+                self._detect_crash(host.address),
+                name=f"crash-detect:{host.name}",
+                daemon=True,
+            )
         return lost
 
     def reboot_host(self, host: Host) -> None:
@@ -203,6 +208,16 @@ LoadSharingService` (or anything with ``.migd``); without it the migd
         shadows and orphans that depended on the old incarnation.
         """
         yield Sleep(self.detect_delay)
+        self.notify_peers(address)
+
+    def notify_peers(self, address: int) -> None:
+        """Run the cluster-wide reaction to ``address`` being dead.
+
+        The single reaction path, whether driven by the fixed detection
+        delay or by the suspicion detector: surviving kernels orphan and
+        reap, servers drop the client's state, migd forgets the host,
+        and the restart manager re-homes checkpointed victims.
+        """
         for peer_address in sorted(self.cluster.kernels):
             kernel = self.cluster.kernels[peer_address]
             if peer_address == address or not kernel.node.up:
@@ -218,6 +233,15 @@ LoadSharingService` (or anything with ``.migd``); without it the migd
             self.restart.host_lost(address)
         self._emit("crash_detected", address=address,
                    orphaned=self.orphaned, reaped=self.reaped)
+
+    def attach_detector(self) -> Any:
+        """Switch from fixed-delay detection to the suspicion-based
+        :class:`~repro.faults.detector.FailureDetector` (started)."""
+        if self.detector is None:
+            from .detector import FailureDetector
+
+            self.detector = FailureDetector(self).start()
+        return self.detector
 
     # ------------------------------------------------------------------
     # migd
@@ -285,10 +309,32 @@ LoadSharingService` (or anything with ``.migd``); without it the migd
         self.fabric.heal()
         self._emit("heal")
 
-    def set_link(self, a: Any, b: Any, drop: float = 0.0, delay: float = 0.0) -> None:
+    def set_link(
+        self,
+        a: Any,
+        b: Any,
+        drop: float = 0.0,
+        delay: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        corrupt: float = 0.0,
+        reorder_window: float = 0.002,
+    ) -> None:
         a, b = self._address(a), self._address(b)
-        self.fabric.set_link(a, b, drop=drop, delay=delay)
-        self._emit("link", a=a, b=b, drop=drop, delay=delay)
+        self.fabric.set_link(
+            a, b, drop=drop, delay=delay, duplicate=duplicate,
+            reorder=reorder, corrupt=corrupt, reorder_window=reorder_window,
+        )
+        detail: Dict[str, Any] = {"a": a, "b": b, "drop": drop, "delay": delay}
+        # Adversarial knobs appear in the event only when set, so legacy
+        # plans keep their byte-identical trace records.
+        if duplicate > 0.0:
+            detail["duplicate"] = duplicate
+        if reorder > 0.0:
+            detail["reorder"] = reorder
+        if corrupt > 0.0:
+            detail["corrupt"] = corrupt
+        self._emit("link", **detail)
 
     def clear_link(self, a: Any, b: Any) -> None:
         a, b = self._address(a), self._address(b)

@@ -68,6 +68,7 @@ class InvariantChecker:
         violations.extend(self._check_leases())
         violations.extend(self._check_journals())
         violations.extend(self._check_stream_refs())
+        violations.extend(self._check_exactly_once())
         if expected_pids is not None:
             violations.extend(self._check_conservation(set(expected_pids)))
         return violations
@@ -266,6 +267,27 @@ class InvariantChecker:
                                  "stream": stream_id, "client": client,
                                  "count": count},
                             ))
+        return violations
+
+    def _check_exactly_once(self) -> List[Violation]:
+        """No RPC port may ever have executed a non-idempotent handler
+        twice for one logical request — at-least-once retries and
+        duplicating links must be absorbed by the dedup cache, never by
+        the handler.  (``mig.commit`` running twice is how a process
+        gets activated on two hosts.)"""
+        violations: List[Violation] = []
+        ports = [(host.name, host.rpc) for host in self.cluster.hosts]
+        ports += [
+            (server_host.name, server_host.rpc)
+            for server_host in self.cluster.server_hosts
+            if hasattr(server_host, "rpc")
+        ]
+        for name, port in ports:
+            if port.double_executions:
+                violations.append(Violation(
+                    "double-execution",
+                    {"host": name, "count": port.double_executions},
+                ))
         return violations
 
     # ------------------------------------------------------------------

@@ -106,9 +106,30 @@ class FaultPlan:
         return self.add(time, "heal")
 
     def link(
-        self, time: float, a: Any, b: Any, drop: float = 0.0, delay: float = 0.0
+        self,
+        time: float,
+        a: Any,
+        b: Any,
+        drop: float = 0.0,
+        delay: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        corrupt: float = 0.0,
+        reorder_window: float = 0.002,
     ) -> "FaultPlan":
-        return self.add(time, "link", (a, b), drop=drop, delay=delay)
+        """Impair the a<->b link: loss, added latency, and (adversarial)
+        per-message duplication, reordering skew, payload corruption."""
+        params: Dict[str, Any] = {"drop": drop, "delay": delay}
+        # Adversarial knobs travel only when set, so legacy plans apply
+        # (and trace) byte-identically.
+        if duplicate > 0.0:
+            params["duplicate"] = duplicate
+        if reorder > 0.0:
+            params["reorder"] = reorder
+            params["reorder_window"] = reorder_window
+        if corrupt > 0.0:
+            params["corrupt"] = corrupt
+        return self.add(time, "link", (a, b), **params)
 
     def link_clear(self, time: float, a: Any, b: Any) -> "FaultPlan":
         return self.add(time, "link_clear", (a, b))
@@ -124,6 +145,7 @@ class FaultPlan:
         mean_outage: float = 8.0,
         link_glitches: int = 0,
         max_glitch_drop: float = 0.4,
+        adversarial: bool = False,
         stream_name: str = "faults.plan",
     ) -> "FaultPlan":
         """A seeded random churn plan (MOSIX-style: churn is normal).
@@ -134,7 +156,10 @@ class FaultPlan:
         inter-arrival times (mean ``mtbf``) and reboots after an
         exponential outage (mean ``mean_outage``); optionally
         ``link_glitches`` random loss/delay episodes are sprinkled over
-        random host pairs.
+        random host pairs.  With ``adversarial=True`` each glitch also
+        draws duplication, reordering, and corruption probabilities
+        (draws happen only then, so legacy plans consume the identical
+        RNG sequence).
         """
         rng = streams.stream(stream_name)
         plan = cls()
@@ -152,7 +177,13 @@ class FaultPlan:
                 drop = float(rng.uniform(0.05, max_glitch_drop))
                 delay = float(rng.uniform(0.0, 0.005))
                 a, b = hosts[int(i)], hosts[int(j)]
+                duplicate = reorder = corrupt = 0.0
+                if adversarial:
+                    duplicate = round(float(rng.uniform(0.0, 0.3)), 6)
+                    reorder = round(float(rng.uniform(0.0, 0.3)), 6)
+                    corrupt = round(float(rng.uniform(0.0, 0.15)), 6)
                 plan.link(round(start, 6), a, b, drop=round(drop, 6),
-                          delay=round(delay, 6))
+                          delay=round(delay, 6), duplicate=duplicate,
+                          reorder=reorder, corrupt=corrupt)
                 plan.link_clear(round(min(start + length, duration), 6), a, b)
         return plan

@@ -54,6 +54,9 @@ class MigdServer:
         self.assignments: Dict[int, Set[int]] = {}
         self.requests_served = 0
         self.updates_received = 0
+        #: Host-selection requests load-shed because the server's offer
+        #: queue was over ``params.migd_max_pending`` (when > 0).
+        self.refused_busy = 0
         self.pcb = None
 
     # ------------------------------------------------------------------
@@ -129,6 +132,16 @@ class MigdServer:
         return {"ok": True}
 
     def _on_request(self, message: Dict) -> Dict:
+        # Overload backpressure: when the inbound queue is deeper than
+        # the configured bound, shed *selection* work (the cheapest
+        # request to redo) with an explicit busy verdict instead of
+        # serving stale grants late.  Updates and releases are never
+        # shed — dropping them would rot the global state the grants
+        # are computed from.
+        cap = self.home.params.migd_max_pending
+        if cap > 0 and len(self.master.requests) > cap:
+            self.refused_busy += 1
+            return {"hosts": [], "busy": True}
         self.requests_served += 1
         client = message["client"]
         wanted = message.get("n", 1)
@@ -263,6 +276,9 @@ class CentralizedSelector(HostSelector):
         super().__init__(host)
         self._stream = None
         self.failures = 0
+        #: Requests the server answered with an explicit busy verdict
+        #: (distinct from ``failures``: the server is up, just loaded).
+        self.backpressured = 0
 
     def _ensure_stream(self) -> Generator[Effect, None, None]:
         if self._stream is None:
@@ -292,6 +308,8 @@ class CentralizedSelector(HostSelector):
                 "exclude": list(exclude),
             }
         )
+        if reply and reply.get("busy"):
+            self.backpressured += 1
         granted = reply.get("hosts", []) if reply else []
         return self._timed_request_end(started, granted)
 

@@ -48,7 +48,13 @@ from ..kernel import (
     SpriteKernel,
     signals,
 )
-from ..net import NetworkPartitionedError, Reply, RpcError, RpcTimeout
+from ..net import (
+    NetworkPartitionedError,
+    Reply,
+    RetryLaterError,
+    RpcError,
+    RpcTimeout,
+)
 from ..obs.spans import (
     MIG_COMMIT,
     MIG_COMMIT_RPC,
@@ -203,6 +209,12 @@ class MigrationManager:
         self._ticket_seq = 0
         #: Guest memory currently reserved under unexpired leases.
         self.reserved_bytes = 0
+        #: Overload backpressure: in-flight outgoing migrations (capped
+        #: by ``params.migration_max_outgoing`` when > 0) and refusal
+        #: counters for both directions of the cap.
+        self.outgoing_in_flight = 0
+        self.refused_outgoing_cap = 0
+        self.refused_incoming_busy = 0
         #: Aborts whose undo log could not be fully replayed inline
         #: (a background repair task owns the remainder).
         self.rollback_incomplete = 0
@@ -225,7 +237,8 @@ class MigrationManager:
         self.host.rpc.register("mig.resolve", self._rpc_resolve)
         self.host.rpc.register("mig.close", self._rpc_close)
         self.host.rpc.register("mig.update_location", self._rpc_update_location)
-        self.host.rpc.register("mig.cor_fetch", self._rpc_cor_fetch)
+        self.host.rpc.register("mig.cor_fetch", self._rpc_cor_fetch,
+                       idempotent=True)
 
     # ------------------------------------------------------------------
     @property
@@ -333,8 +346,22 @@ class MigrationManager:
         )
         record = self._new_record(pcb, target, reason)
         root = self._root_span(record)
+        cap = self.params.migration_max_outgoing
+        if cap > 0 and self.outgoing_in_flight >= cap:
+            # Source-side admission control: too many transfers already
+            # in flight.  Refuse locally (the process keeps running
+            # here) with a reason ``refusal_reasons`` can aggregate.
+            self.refused_outgoing_cap += 1
+            self._refuse(
+                record,
+                "source at outgoing-migration cap",
+                f"host {self.host.name} already has "
+                f"{self.outgoing_in_flight} migration(s) in flight",
+                root,
+            )
         txn = self.journal.begin(pcb, self.address, target, reason)
         epoch = self._crash_epoch
+        self.outgoing_in_flight += 1
         try:
             # Negotiate and pre-copy while the process keeps running.
             yield from self._negotiate(pcb, target, record, txn, root, epoch)
@@ -403,6 +430,8 @@ class MigrationManager:
             if root is not None:
                 root.annotate(abandoned=True).finish(self.sim.now)
             raise
+        finally:
+            self.outgoing_in_flight -= 1
 
     def migrate_self(
         self, pcb: Pcb, target: int
@@ -635,6 +664,11 @@ class MigrationManager:
                     "vm_bytes": pcb.vm.size,
                 },
             )
+        except RetryLaterError:
+            # Backpressure, not death: the target is alive but at its
+            # incoming cap (the RPC layer already retried with backoff).
+            # Degrade to local execution with a distinct refusal reason.
+            answer = {"accept": False, "why": "target busy (retry later)"}
         except RpcError as err:
             # Unreachable target: abort cleanly, process stays put.
             answer = {"accept": False, "why": f"target unreachable: {err}"}
@@ -879,7 +913,7 @@ class MigrationManager:
                     target, "mig.commit",
                     {"pid": pcb.pid, "ticket": txn.ticket_id},
                 )
-            except (RpcTimeout, NetworkPartitionedError):
+            except (RpcTimeout, NetworkPartitionedError, RetryLaterError):
                 # In doubt: the request may have been delivered.  Loop —
                 # the ground-truth checks above settle it.
                 attempt += 1
@@ -912,7 +946,7 @@ class MigrationManager:
                     {"pid": pcb.pid, "current": target},
                 )
                 return
-            except (RpcTimeout, NetworkPartitionedError):
+            except (RpcTimeout, NetworkPartitionedError, RetryLaterError):
                 attempt += 1
                 yield Sleep(self.host.rpc.retry_backoff(min(attempt, 6)))
 
@@ -922,15 +956,26 @@ class MigrationManager:
         """Best-effort lease renewal before the frozen transfer starts.
 
         Failure is tolerated: if the lease really is gone the install
-        will refuse and the normal abort path runs."""
-        try:
-            reply = yield from self.host.rpc.call(
-                target, "mig.renew",
-                {"pid": txn.pid, "ticket": txn.ticket_id},
-            )
-        except RpcError:
-            self._abandon_if_crashed(epoch, txn)
-            return
+        will refuse and the normal abort path runs.  A busy target is
+        *not* a failed one — the lease still stands, so backpressure
+        gets a short backoff and another try instead of a give-up."""
+        reply = None
+        for attempt in range(3):
+            try:
+                reply = yield from self.host.rpc.call(
+                    target, "mig.renew",
+                    {"pid": txn.pid, "ticket": txn.ticket_id},
+                )
+            except RetryLaterError:
+                self._abandon_if_crashed(epoch, txn)
+                yield Sleep(self.host.rpc.retry_backoff(attempt))
+                continue
+            except RpcError:
+                self._abandon_if_crashed(epoch, txn)
+                return
+            break
+        if reply is None:
+            return  # still busy after the backoffs: proceed unrenewed
         self._abandon_if_crashed(epoch, txn)
         if reply.get("renewed"):
             txn.expires = max(txn.expires, float(reply.get("expires", 0.0)))
@@ -956,7 +1001,7 @@ class MigrationManager:
                     {"pid": txn.pid, "ticket": txn.ticket_id},
                 )
                 return
-            except (RpcTimeout, NetworkPartitionedError):
+            except (RpcTimeout, NetworkPartitionedError, RetryLaterError):
                 attempt += 1
                 yield Sleep(self.host.rpc.retry_backoff(min(attempt, 6)))
 
@@ -993,7 +1038,7 @@ class MigrationManager:
                      "cpu_time": status.cpu_time, "exit_host": target},
                 )
                 return
-            except (RpcTimeout, NetworkPartitionedError):
+            except (RpcTimeout, NetworkPartitionedError, RetryLaterError):
                 yield Sleep(self.host.rpc.retry_backoff(attempt))
 
     # ------------------------------------------------------------------
@@ -1046,6 +1091,12 @@ class MigrationManager:
             try:
                 yield from self._undo_one(entry, txn, target, close_refs)
                 return True
+            except RetryLaterError:
+                # The peer is alive but overloaded: every undo (ticket
+                # release included) will land once it drains, so back
+                # off and retry — never downgrade to "left to expire".
+                yield Sleep(self.host.rpc.retry_backoff(attempt))
+                continue
             except (RpcError, FsError):
                 if entry.kind == "ticket":
                     # The lease self-destructs at expiry; stop hammering
@@ -1220,7 +1271,7 @@ class MigrationManager:
                     txn.target, "mig.resolve",
                     {"pid": txn.pid, "ticket": txn.ticket_id},
                 )
-            except (RpcTimeout, NetworkPartitionedError):
+            except (RpcTimeout, NetworkPartitionedError, RetryLaterError):
                 yield Sleep(self.host.rpc.retry_backoff(attempt))
                 continue
             if reply.get("known"):
@@ -1294,9 +1345,20 @@ class MigrationManager:
                 ),
             }
         # A host always accepts its own processes back (eviction must
-        # never fail); otherwise the acceptance policy decides.
-        if args["home"] != self.address and self.accept_hook is not None:
-            if not self.accept_hook(args):
+        # never fail); foreign work passes admission control first.
+        if args["home"] != self.address:
+            cap = self.params.migration_max_incoming
+            if cap > 0 and len(self._tickets) >= cap:
+                # Overloaded, not dead: the error crosses the wire and
+                # tells the source to back off — an unbounded burst of
+                # offers degrades to local execution instead of piling
+                # leases onto a saturated target.
+                self.refused_incoming_busy += 1
+                raise RetryLaterError(
+                    f"host {self.host.name} at incoming-migration cap "
+                    f"({cap} lease(s) outstanding)"
+                )
+            if self.accept_hook is not None and not self.accept_hook(args):
                 return {"accept": False, "why": "host not accepting foreign work"}
         self._ticket_seq += 1
         lease = TicketLease(

@@ -1,5 +1,6 @@
 """Network substrate: shared-medium LAN and kernel-to-kernel RPC."""
 
+from .errors import RetryLaterError
 from .lan import HostDownError, Lan, NetNode, NetworkPartitionedError, Packet
 from .rpc import Reply, RpcError, RpcPort, RpcTimeout
 
@@ -10,6 +11,7 @@ __all__ = [
     "NetworkPartitionedError",
     "Packet",
     "Reply",
+    "RetryLaterError",
     "RpcError",
     "RpcPort",
     "RpcTimeout",

@@ -11,6 +11,11 @@ One tree, so callers can be exactly as discriminating as they need:
   between the hosts.  A subclass of :class:`HostDownError` on purpose:
   to a sender, a partitioned peer is indistinguishable from a dead one,
   so every existing retry/abort path handles partitions for free.
+* :class:`RetryLaterError` — explicit backpressure: the peer is alive
+  but refuses to take on more work right now.  Deliberately *not* a
+  subclass of :class:`HostDownError`: an overloaded host must never be
+  mistaken for a dead one (no shadow reaping, no migd blacklisting) —
+  callers back off with their existing jittered schedule and retry.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ __all__ = [
     "RpcTimeout",
     "HostDownError",
     "NetworkPartitionedError",
+    "RetryLaterError",
 ]
 
 
@@ -37,3 +43,7 @@ class HostDownError(RpcError):
 
 class NetworkPartitionedError(HostDownError):
     """The link fabric has no path between the two hosts."""
+
+
+class RetryLaterError(RpcError):
+    """The peer is up but overloaded; back off and retry later."""

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional
 
 from ..config import ClusterParams
-from ..sim import Channel, Effect, Resource, Simulator, Sleep, Tracer
+from ..sim import Channel, Effect, Resource, Simulator, Sleep, Tracer, spawn
 
 from .errors import HostDownError, NetworkPartitionedError
 
@@ -34,6 +34,10 @@ class Packet:
     payload: Any
     size: int
     send_time: float = 0.0
+    #: Set by the fault fabric: the payload arrived damaged.  Receivers
+    #: that verify checksums (:class:`~repro.net.RpcPort`) count and
+    #: discard such packets instead of acting on garbage.
+    corrupt: bool = False
 
 
 class NetNode:
@@ -69,6 +73,12 @@ class Lan:
         #: Totals for metrics: messages and payload bytes carried.
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Messages lost to a full (bounded) destination inbox — the
+        #: counted backpressure path: senders discover the loss by
+        #: timeout and back off.
+        self.inbox_overflows = 0
+        #: Extra copies delivered for fabric duplicate verdicts.
+        self.duplicates_delivered = 0
         #: Optional per-kind byte accounting ({packet kind: bytes});
         #: ``None`` until the observability layer installs a dict, so an
         #: unobserved run pays only an ``is not None`` test per message.
@@ -83,6 +93,8 @@ class Lan:
     def register(self, node: NetNode) -> int:
         node.address = next(self._addresses)
         node.lan = self
+        if self.params.net_inbox_capacity > 0:
+            node.inbox.capacity = self.params.net_inbox_capacity
         self.nodes[node.address] = node
         return node.address
 
@@ -104,10 +116,13 @@ class Lan:
         dst = self.nodes.get(packet.dst)
         if dst is None:
             raise HostDownError(f"no node at address {packet.dst}")
-        deliver, extra_delay = True, 0.0
+        deliver, extra_delay, verdict = True, 0.0, None
         if self.fabric is not None:
-            # Raises NetworkPartitionedError when no path exists.
-            deliver, extra_delay = self.fabric.unicast(packet.src, packet.dst)
+            # Raises NetworkPartitionedError when no path exists;
+            # ``None`` is the clean-delivery fast path.
+            verdict = self.fabric.unicast_effects(packet.src, packet.dst)
+            if verdict is not None:
+                deliver, extra_delay = verdict.deliver, verdict.delay
         packet.send_time = self.sim.now
         yield from self._occupy_medium(packet.size)
         yield Sleep(self.params.net_latency + extra_delay)
@@ -126,8 +141,35 @@ class Lan:
                     src=packet.src, dst=packet.dst, msg=packet.kind,
                 )
             return
+        if verdict is not None and verdict.duplicates:
+            # A duplicating link delivers a second copy shortly after
+            # the original (retransmit storm); the lag was drawn by the
+            # fabric, so the schedule stays seed-deterministic.
+            spawn(
+                self.sim,
+                self._deliver_duplicate(
+                    packet, verdict.dup_delay, verdict.dup_corrupt
+                ),
+                name=f"lan-dup:{packet.kind}",
+                daemon=True,
+            )
         if not dst.up:
             raise HostDownError(f"host {dst.name} is down")
+        if verdict is not None and verdict.corrupt:
+            packet.corrupt = True
+        self._deliver(dst, packet)
+
+    def _deliver(self, dst: NetNode, packet: Packet) -> None:
+        """Final hop into the destination inbox; a full bounded inbox is
+        a counted drop (backpressure), never an exception."""
+        if not dst.inbox.try_put(packet):
+            self.inbox_overflows += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.sim.now, "lan", "inbox-full",
+                    src=packet.src, dst=packet.dst, msg=packet.kind,
+                )
+            return
         if self.tracer.enabled:
             self.tracer.emit(
                 self.sim.now,
@@ -138,9 +180,25 @@ class Lan:
                 msg=packet.kind,
                 size=packet.size,
             )
-        if not dst.inbox.try_put(packet):
-            # lint: disable=error-hierarchy(inbox overflow is a model invariant violation, not a simulated network failure)
-            raise RuntimeError(f"inbox of {dst.name} is bounded and full")
+
+    def _deliver_duplicate(
+        self, packet: Packet, lag: float, corrupt: bool
+    ) -> Generator[Effect, None, None]:
+        """Deliver the extra copy of a duplicated message after ``lag``."""
+        yield Sleep(lag)
+        dst = self.nodes.get(packet.dst)
+        if dst is None or not dst.up:
+            return
+        copy = Packet(packet.src, packet.dst, packet.kind, packet.payload,
+                      packet.size, send_time=packet.send_time,
+                      corrupt=corrupt or packet.corrupt)
+        self.duplicates_delivered += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.sim.now, "lan", "duplicate",
+                src=packet.src, dst=packet.dst, msg=packet.kind,
+            )
+        self._deliver(dst, copy)
 
     def transfer(self, src: int, dst: int, nbytes: int) -> Generator[Effect, None, None]:
         """Charge the wire time of a bulk transfer of ``nbytes``.

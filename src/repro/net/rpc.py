@@ -9,12 +9,23 @@ Failure model: a down destination or a lost reply surfaces as
 :class:`RpcTimeout` after ``params.rpc_retries`` retries.  Exceptions
 raised by the remote handler are re-raised at the caller (this mirrors
 Sprite, where a forwarded kernel call returns the remote error code).
+
+Delivery model: retries make every call *at-least-once* on the wire,
+and an adversarial fabric can duplicate requests outright.  The server
+side therefore enforces **exactly-once execution**: every logical call
+carries a per-port monotonic request id (shared by its retries), and a
+bounded dedup cache replays the recorded reply to duplicates instead
+of re-running the handler.  Corrupted requests (fabric payload damage)
+fail the checksum check and are counted and dropped — the caller
+retries by timeout.  A handler may be registered ``idempotent=True``
+to opt out of dedup (read-only services; re-execution is harmless and
+the cache is spared), which the ``rpc-idempotency`` lint rule audits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from ..config import ClusterParams
 from ..obs.spans import RPC_CALL, RPC_SERVE, SpanTracer
@@ -30,7 +41,7 @@ from ..sim import (
     spawn,
     with_timeout,
 )
-from .errors import RpcError, RpcTimeout
+from .errors import RetryLaterError, RpcError, RpcTimeout
 from .lan import HostDownError, Lan, NetNode, NetworkPartitionedError, Packet
 
 __all__ = ["RpcPort", "RpcStats", "RpcTimeout", "RpcError", "Reply"]
@@ -59,9 +70,27 @@ class _Request:
     #: off).  The server records it on its ``rpc.serve`` span, giving
     #: the critical-path analysis an explicit cross-host causal edge.
     caller_sid: Optional[int] = None
+    #: Per-port monotonic id of the *logical* call: every retry of one
+    #: ``call()`` reuses it, so the server can recognize duplicates.
+    req_id: int = 0
 
 
 Handler = Callable[[Any], Generator[Effect, None, Any]]
+
+
+class _DedupEntry:
+    """Server-side memory of one executed (or executing) request."""
+
+    __slots__ = ("done", "outcome", "failure", "reply_size", "waiters")
+
+    def __init__(self) -> None:
+        self.done = False
+        self.outcome: Any = None
+        self.failure: Optional[BaseException] = None
+        self.reply_size = DEFAULT_REPLY_SIZE
+        #: Duplicate requests that arrived while the first execution
+        #: was still running; answered when it completes.
+        self.waiters: List[_Request] = []
 
 
 class RpcStats:
@@ -108,12 +137,29 @@ class RpcPort:
         self.params = params or lan.params
         self.tracer = tracer if tracer is not None else lan.tracer
         self._services: Dict[str, Handler] = {}
+        #: Services registered ``idempotent=True`` (dedup opted out).
+        self._idempotent: Set[str] = set()
         #: Receives packets that are not RPC requests (e.g. multicast
         #: host-selection queries); set by higher layers.
         self.fallback: Optional[Callable[[Packet], None]] = None
         #: Metrics.
         self.calls_made = 0
         self.calls_served = 0
+        #: Exactly-once machinery: request-id source, the bounded dedup
+        #: cache keyed ``(client, req_id)``, and its counters.
+        self._req_seq = 0
+        self._dedup: Dict[Tuple[int, int], _DedupEntry] = {}
+        self.duplicates_suppressed = 0
+        self.replays_sent = 0
+        self.checksum_failures = 0
+        #: Handler executions that ran twice for one logical request —
+        #: the exactly-once invariant (`InvariantChecker`) asserts this
+        #: stays zero.  Tracked over a bounded recent-key window (a
+        #: duplicate can only arrive within the sender's retry window,
+        #: so evicted keys can no longer collide).
+        self.double_executions = 0
+        self._served_keys: Dict[Tuple[int, int], int] = {}
+        self._audit_cap = max(4 * (self.params.rpc_dedup_cache or 1), 1024)
         #: Optional per-service accounting; installed by the obs layer.
         self.stats: Optional[RpcStats] = None
         #: Lazily-seeded RNG for retry jitter (deterministic per port).
@@ -127,9 +173,22 @@ class RpcPort:
     # ------------------------------------------------------------------
     # Server side
     # ------------------------------------------------------------------
-    def register(self, service: str, handler: Handler) -> None:
-        """Register ``handler`` for ``service`` (replacing any previous)."""
+    def register(
+        self, service: str, handler: Handler, idempotent: bool = False
+    ) -> None:
+        """Register ``handler`` for ``service`` (replacing any previous).
+
+        ``idempotent=True`` opts the service out of the exactly-once
+        dedup cache: safe only for handlers whose re-execution is
+        indistinguishable from a single execution (read-only probes,
+        pure cost models).  The ``rpc-idempotency`` lint rule flags
+        opt-outs whose handlers mutate server state.
+        """
         self._services[service] = handler
+        if idempotent:
+            self._idempotent.add(service)
+        else:
+            self._idempotent.discard(service)
 
     def _serve(self) -> Generator[Effect, None, None]:
         while True:
@@ -137,6 +196,17 @@ class RpcPort:
                 packet = yield self.node.inbox.get()
             except ChannelClosed:
                 return
+            if packet.corrupt:
+                # The kernel verifies the payload checksum before
+                # dispatch; a damaged packet is counted and discarded
+                # (the sender retries by timeout).
+                self.checksum_failures += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.sim.now, f"rpc:{self.node.name}",
+                        "checksum-drop", src=packet.src, msg=packet.kind,
+                    )
+                continue
             if packet.kind == "rpc-request" and isinstance(packet.payload, _Request):
                 spawn(
                     self.sim,
@@ -148,6 +218,37 @@ class RpcPort:
                 self.fallback(packet)
 
     def _handle(self, request: _Request) -> Generator[Effect, None, None]:
+        # Exactly-once: a duplicate of a known request never reaches the
+        # handler — it is absorbed (first execution still running) or
+        # answered from the recorded reply.
+        entry: Optional[_DedupEntry] = None
+        if (
+            request.req_id
+            and self.params.rpc_dedup_cache > 0
+            and request.service not in self._idempotent
+        ):
+            key = (request.reply_to, request.req_id)
+            entry = self._dedup.get(key)
+            if entry is not None:
+                self.duplicates_suppressed += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        self.sim.now, f"rpc:{self.node.name}", "dup-request",
+                        service=request.service, client=request.reply_to,
+                        req=request.req_id, done=entry.done,
+                    )
+                if entry.done:
+                    yield from self._ship_reply(
+                        request, entry.outcome, entry.failure,
+                        entry.reply_size, replay=True,
+                    )
+                else:
+                    entry.waiters.append(request)
+                return
+            entry = _DedupEntry()
+            self._dedup[key] = entry
+            if len(self._dedup) > self.params.rpc_dedup_cache:
+                self._dedup.pop(next(iter(self._dedup)))
         span = None
         if self.spans.enabled:
             span = self.spans.start(
@@ -164,6 +265,17 @@ class RpcPort:
             )
             outcome = None
         else:
+            if request.req_id and request.service not in self._idempotent:
+                # Exactly-once audit: count executions per logical
+                # request over a bounded recent window (duplicates can
+                # only arrive within the sender's retry window).
+                akey = (request.reply_to, request.req_id)
+                count = self._served_keys.get(akey, 0) + 1
+                self._served_keys[akey] = count
+                if count > 1:
+                    self.double_executions += 1
+                elif len(self._served_keys) > self._audit_cap:
+                    self._served_keys.pop(next(iter(self._served_keys)))
             if self.cpu is not None:
                 yield from self.cpu.consume(self.params.rpc_cpu_overhead)
             try:
@@ -181,7 +293,44 @@ class RpcPort:
             outcome = outcome.result
         if self.stats is not None:
             self.stats.on_serve(request.service, max(reply_size, 1))
-        # Ship the reply back across the wire, then wake the caller.
+        if entry is not None:
+            entry.done = True
+            entry.outcome = outcome
+            entry.failure = failure
+            entry.reply_size = max(reply_size, 1)
+            if isinstance(failure, RetryLaterError):
+                # Busy refusals are transient and effect-free (admission
+                # is checked before any state changes): forget the
+                # request so the client's backed-off retry re-attempts
+                # admission instead of replaying "busy" forever — and
+                # drop the audit key so that legitimate re-execution is
+                # not miscounted as a double execution.
+                akey = (request.reply_to, request.req_id)
+                self._dedup.pop(akey, None)
+                self._served_keys.pop(akey, None)
+        yield from self._ship_reply(request, outcome, failure, reply_size,
+                                    span=span)
+        if entry is not None and entry.waiters:
+            # Duplicates absorbed mid-execution get the recorded reply.
+            waiters, entry.waiters = entry.waiters, []
+            for duplicate in waiters:
+                yield from self._ship_reply(
+                    duplicate, outcome, failure, entry.reply_size,
+                    replay=True,
+                )
+
+    def _ship_reply(
+        self,
+        request: _Request,
+        outcome: Any,
+        failure: Optional[BaseException],
+        reply_size: int,
+        span: Any = None,
+        replay: bool = False,
+    ) -> Generator[Effect, None, None]:
+        """Ship one reply across the wire, then wake the caller."""
+        if request.reply_event.fired:
+            return  # fabric duplicate of an already-answered attempt
         if not self.node.up:
             if span is not None:
                 span.finish(self.sim.now, outcome="server-down")
@@ -199,6 +348,10 @@ class RpcPort:
                 self.sim.now,
                 outcome="error" if failure is not None else "ok",
             )
+        if replay:
+            self.replays_sent += 1
+        if request.reply_event.fired:
+            return  # answered while this reply was on the wire
         if failure is not None:
             request.reply_event.fail(failure)
         else:
@@ -266,6 +419,10 @@ class RpcPort:
                 RPC_CALL, f"rpc:{self.node.name}", t=self.sim.now,
                 dst=dst, service=service, bytes=size,
             )
+        # One id per *logical* call: retries reuse it, so the server can
+        # dedup them against the first delivered attempt.
+        self._req_seq += 1
+        req_id = self._req_seq
         last_error: Optional[BaseException] = None
         for _attempt in range(attempts):
             reply_event = SimEvent(self.sim, name=f"reply:{service}")
@@ -276,6 +433,7 @@ class RpcPort:
                 reply_to=self.node.address,
                 reply_size_hint=reply_size,
                 caller_sid=span.sid if span is not None else None,
+                req_id=req_id,
             )
             packet = Packet(
                 src=self.node.address,
@@ -303,7 +461,16 @@ class RpcPort:
                 if span is not None:
                     span.finish(self.sim.now, outcome="ok")
                 return value
-            value = yield from with_timeout(reply_event.wait(), timeout)
+            try:
+                value = yield from with_timeout(reply_event.wait(), timeout)
+            except RetryLaterError as err:
+                # Explicit backpressure from the server: back off with
+                # the jittered schedule and try again — never surfaced
+                # as a timeout or host death unless retries exhaust.
+                last_error = err
+                if _attempt + 1 < attempts:
+                    yield Sleep(self._retry_backoff(_attempt))
+                continue
             if value is TIMED_OUT:
                 last_error = RpcTimeout(
                     f"{service} on host {dst} timed out after {timeout}s"
@@ -316,10 +483,11 @@ class RpcPort:
             return value
         if span is not None:
             span.finish(self.sim.now, outcome="timeout", attempts=attempts)
-        if isinstance(last_error, NetworkPartitionedError):
+        if isinstance(last_error, (NetworkPartitionedError, RetryLaterError)):
             # A partition verdict is definitive (the fabric said "no
-            # path"), not a silence we timed out on — let callers tell
-            # the two apart.
+            # path") and a busy verdict means the peer is *alive* —
+            # neither is a silence we timed out on; let callers tell
+            # the three apart.
             raise last_error
         raise RpcTimeout(
             f"{service} on host {dst} unreachable after {attempts} attempt(s): "

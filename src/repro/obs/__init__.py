@@ -46,6 +46,7 @@ from .spans import (
     CKPT_WRITE,
     EVICT_RECLAIM,
     FAULT_OUTAGE,
+    FAULT_SUSPECT,
     KERNEL_FORWARD,
     MIG_COMMIT,
     MIG_COMMIT_RPC,
@@ -74,6 +75,7 @@ __all__ = [
     "CKPT_WRITE",
     "EVICT_RECLAIM",
     "FAULT_OUTAGE",
+    "FAULT_SUSPECT",
     "KERNEL_FORWARD",
     "MIG_COMMIT",
     "MIG_COMMIT_RPC",

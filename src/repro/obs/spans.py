@@ -49,6 +49,7 @@ __all__ = [
     "RPC_CALL",
     "RPC_SERVE",
     "FAULT_OUTAGE",
+    "FAULT_SUSPECT",
     "CKPT_CHECKPOINT",
     "CKPT_WRITE",
     "CKPT_RESTORE",
@@ -92,6 +93,9 @@ KERNEL_FORWARD = "kernel.forward"
 RPC_CALL = "rpc.call"
 RPC_SERVE = "rpc.serve"
 FAULT_OUTAGE = "fault.outage"
+#: Suspicion interval of the accrual failure detector: opens when a
+#: host is declared dead, closes when the host reconciles (reappears).
+FAULT_SUSPECT = "fault.suspect"
 
 #: Checkpoint/restart lifecycle (``repro.checkpoint``): one checkpoint
 #: of one process (root), the backing-file image write inside it, and
@@ -120,6 +124,7 @@ SPAN_CATALOGUE = frozenset({
     RPC_CALL,
     RPC_SERVE,
     FAULT_OUTAGE,
+    FAULT_SUSPECT,
     CKPT_CHECKPOINT,
     CKPT_WRITE,
     CKPT_RESTORE,

@@ -460,6 +460,106 @@ def test_rpc_handler_not_generator_positive(tmp_path):
     assert rule_ids(findings) == ["rpc-handler-not-generator"]
 
 
+def test_rpc_idempotent_readonly_handler_is_clean(tmp_path):
+    # idempotent=True is the legitimate opt-out for pure reads (like
+    # mig.cor_fetch): no self mutation, no finding.
+    findings = findings_of(
+        tmp_path,
+        {
+            "svc.py": """\
+            class Service:
+                def install(self, rpc):
+                    rpc.register("svc.read", self._rpc_read, idempotent=True)
+
+                def _rpc_read(self, args):
+                    size = len(self.table)
+                    yield
+                    return size
+
+                def use(self, rpc, dst):
+                    return (yield from rpc.call(dst, "svc.read", None))
+            """
+        },
+        ["rpc-idempotency"],
+    )
+    assert findings == []
+
+
+def test_rpc_idempotent_mutating_handler_positive(tmp_path):
+    # A handler that opts out of the dedup cache but writes self state
+    # double-applies under a duplicating link: flagged.
+    findings = findings_of(
+        tmp_path,
+        {
+            "svc.py": """\
+            class Service:
+                def install(self, rpc):
+                    rpc.register("svc.bump", self._rpc_bump, idempotent=True)
+
+                def _rpc_bump(self, args):
+                    self.counter += 1
+                    yield
+                    return self.counter
+
+                def use(self, rpc, dst):
+                    return (yield from rpc.call(dst, "svc.bump", None))
+            """
+        },
+        ["rpc-idempotency"],
+    )
+    assert rule_ids(findings) == ["rpc-idempotency"]
+    assert "_rpc_bump" in findings[0].message
+
+
+def test_rpc_idempotent_mutator_call_positive(tmp_path):
+    # In-place mutator calls on self attributes count as writes too.
+    findings = findings_of(
+        tmp_path,
+        {
+            "svc.py": """\
+            class Service:
+                def install(self, rpc):
+                    rpc.register("svc.note", self._rpc_note, idempotent=True)
+
+                def _rpc_note(self, args):
+                    self.seen.add(args)
+                    yield
+                    return True
+
+                def use(self, rpc, dst):
+                    return (yield from rpc.call(dst, "svc.note", None))
+            """
+        },
+        ["rpc-idempotency"],
+    )
+    assert rule_ids(findings) == ["rpc-idempotency"]
+
+
+def test_rpc_non_idempotent_mutating_handler_is_clean(tmp_path):
+    # Without the opt-out the dedup cache replays the original reply,
+    # so a mutating handler is exactly what the cache is for: no flag.
+    findings = findings_of(
+        tmp_path,
+        {
+            "svc.py": """\
+            class Service:
+                def install(self, rpc):
+                    rpc.register("svc.bump", self._rpc_bump)
+
+                def _rpc_bump(self, args):
+                    self.counter += 1
+                    yield
+                    return self.counter
+
+                def use(self, rpc, dst):
+                    return (yield from rpc.call(dst, "svc.bump", None))
+            """
+        },
+        ["rpc-idempotency"],
+    )
+    assert findings == []
+
+
 def test_rpc_forwarding_helper_resolution(tmp_path):
     # A helper that forwards its own parameter into the service slot
     # (like FsServer._callback) must have its call-site literals counted

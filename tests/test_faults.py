@@ -417,3 +417,223 @@ def test_invariant_checker_flags_lost_process():
     assert [v.kind for v in violations] == ["lost-process"]
     with pytest.raises(AssertionError):
         checker.assert_clean(expected_pids=[1000042])
+
+
+# ----------------------------------------------------------------------
+# Suspicion-based failure detection
+# ----------------------------------------------------------------------
+def test_detector_declares_genuine_crash_and_reconciles_on_reboot():
+    cluster = SpriteCluster(workstations=3, start_daemons=True)
+    injector = cluster.faults()
+    detector = injector.attach_detector()
+    victim = cluster.hosts[2]
+    period = cluster.params.heartbeat_period
+    threshold = cluster.params.suspicion_threshold
+    cluster.run(until=5.0)
+
+    injector.crash_host(victim)
+    cluster.run(until=cluster.sim.now + period * (threshold + 2))
+    watch = detector.watch(victim.address)
+    assert detector.declared == 1
+    assert watch.declared
+    # Declaration drove the survivor reaction (not a fixed delay).
+    assert any(e.kind == "crash_detected" for e in injector.log)
+
+    injector.reboot_host(victim)
+    cluster.run(until=cluster.sim.now + 3 * period)
+    assert detector.reconciles == 1
+    assert not watch.declared
+    # The host really crashed: the reconcile is NOT a false suspicion.
+    assert detector.false_suspicions == 0
+
+
+def test_detector_false_suspicion_on_partition_and_flap_damping():
+    """A partitioned host looks dead but never crashed: reconcile counts
+    a false suspicion, and each flap raises the declaration threshold."""
+    cluster = SpriteCluster(workstations=3, start_daemons=True)
+    params = cluster.params
+    injector = cluster.faults()
+    detector = injector.attach_detector()
+    victim = cluster.hosts[2]
+    period = params.heartbeat_period
+    base = params.suspicion_threshold
+    cluster.run(until=5.0)
+
+    injector.partition([victim.node.address])
+    cluster.run(until=cluster.sim.now + period * (base + 2))
+    assert detector.declared == 1
+    injector.heal()
+    cluster.run(until=cluster.sim.now + 3 * period)
+    watch = detector.watch(victim.address)
+    assert detector.false_suspicions == 1
+    assert watch.flaps == 1
+    damped = min(base + params.suspicion_flap_penalty,
+                 params.suspicion_max_threshold)
+    assert watch.threshold == damped
+
+    # Flap again: the damped threshold needs more silence to re-declare.
+    injector.partition([victim.node.address])
+    cluster.run(until=cluster.sim.now + period * (base - 1))
+    assert detector.declared == 1               # old threshold would fire here
+    cluster.run(until=cluster.sim.now + period * (damped + 2))
+    assert detector.declared == 2
+    injector.heal()
+    cluster.run(until=cluster.sim.now + 3 * period)
+    assert detector.false_suspicions == 2
+    assert watch.threshold == min(base + 2 * params.suspicion_flap_penalty,
+                                  params.suspicion_max_threshold)
+    InvariantChecker(cluster, injector).assert_clean()
+
+
+# ----------------------------------------------------------------------
+# Overload backpressure
+# ----------------------------------------------------------------------
+def test_source_refuses_past_outgoing_migration_cap():
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    cluster.params.migration_max_outgoing = 1
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    manager = cluster.managers[a.address]
+
+    def job(proc):
+        yield from proc.compute(5.0)
+        return 0
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        from repro.migration import MigrationRefused
+
+        yield Sleep(0.5)
+        manager.outgoing_in_flight = 1          # a transfer already in flight
+        try:
+            yield from manager.migrate(pcb, b.address)
+        except MigrationRefused:
+            manager.outgoing_in_flight = 0
+            return "refused"
+
+    drv = spawn(cluster.sim, driver(), name="driver")
+    cluster.run_until_complete(pcb.task)
+    assert drv.result == "refused"
+    assert manager.refused_outgoing_cap == 1
+    assert manager.records[-1].detail["refusal"] == (
+        "source at outgoing-migration cap"
+    )
+
+
+def test_target_backpressures_foreign_work_but_never_eviction():
+    """At the incoming cap the target answers RetryLaterError for
+    foreign work — but a process coming back to its *home* is exempt
+    (eviction must never fail)."""
+    cluster = SpriteCluster(workstations=3, start_daemons=False)
+    cluster.params.migration_max_incoming = 1
+    cluster.params.rpc_retries = 1
+    a, b = cluster.hosts[0], cluster.hosts[1]
+    target = cluster.managers[b.address]
+    home_mgr = cluster.managers[a.address]
+
+    def job(proc):
+        yield from proc.compute(30.0)
+        return 0
+
+    pcb, _ = a.spawn_process(job, name="job")
+
+    def driver():
+        from repro.migration import MigrationRefused
+
+        yield Sleep(0.5)
+        # Saturate the target's lease table: foreign work is refused.
+        target._tickets[(999999, 1)] = object()
+        refused = False
+        try:
+            yield from home_mgr.migrate(pcb, b.address)
+        except MigrationRefused:
+            refused = True
+        assert refused
+        assert target.refused_incoming_busy >= 1
+        assert home_mgr.records[-1].detail["refusal"] == (
+            "target busy (retry later)"
+        )
+        # Cap released: the same migration now lands.
+        del target._tickets[(999999, 1)]
+        yield from home_mgr.migrate(pcb, b.address)
+        # Eviction exemption: send it home while the *home* manager is
+        # saturated — home processes bypass the incoming cap.
+        home_mgr._tickets[(999998, 1)] = object()
+        yield from target.migrate(pcb, a.address)
+        del home_mgr._tickets[(999998, 1)]
+        return pcb.current
+
+    drv = spawn(cluster.sim, driver(), name="driver")
+    cluster.run_until_complete(pcb.task)
+    assert drv.result == a.address
+    InvariantChecker(cluster).assert_clean(expected_pids=[pcb.pid])
+
+
+def test_migd_sheds_selection_requests_when_backlogged():
+    """Past ``migd_max_pending`` queued offers, selection requests get
+    an explicit busy verdict (clients fall back to local execution);
+    updates and releases are never shed."""
+    cluster = SpriteCluster(workstations=3, start_daemons=True)
+    cluster.params.migd_max_pending = 1
+    service = LoadSharingService(cluster, architecture="centralized")
+    cluster.run(until=30.0)
+    migd = service.migd
+    served_before = migd.requests_served
+
+    # Backlog deeper than the cap, as seen by the queue-depth probe.
+    # (Stuff the buffer directly: the idle server task is blocked in a
+    # get(), so try_put would hand the first item straight to its
+    # waiter instead of queueing it — and crash the daemon later.)
+    migd.master.requests._items.append(None)
+    migd.master.requests._items.append(None)
+
+    reply = migd._handle({"op": "request", "client": 999, "n": 1}, 999)
+    assert reply == {"hosts": [], "busy": True}
+    assert migd.refused_busy == 1
+    assert migd.requests_served == served_before
+    # Updates are never shed, even backlogged.
+    reply = migd._handle(
+        {"op": "update", "host": 999, "load": 0.0, "input_idle": 100.0,
+         "available": True, "time": cluster.sim.now}, 999,
+    )
+    assert reply == {"ok": True}
+    # Drain the stuffing so the server daemon never sees it.
+    assert migd.master.requests.try_get() == (True, None)
+    assert migd.master.requests.try_get() == (True, None)
+
+    # End to end: with the backlog gone, a real selector request is
+    # served again and the busy verdict above was counted client-side
+    # when it travels the wire (unit-covered here, chaos-covered in
+    # the adversarial gauntlet).
+    selector = service.selectors[cluster.hosts[1].address]
+    task = spawn(cluster.sim, selector.request(n=1), name="ask")
+    cluster.run(until=cluster.sim.now + 5.0)
+    assert task.done
+    assert migd.requests_served == served_before + 1
+
+
+# ----------------------------------------------------------------------
+# The adversarial gauntlet (golden determinism + exactly-once)
+# ----------------------------------------------------------------------
+def test_adversarial_chaos_is_clean_and_byte_identical():
+    first = run_chaos(seed=11, workstations=4, duration=50.0, jobs=5,
+                      adversarial=True)
+    second = run_chaos(seed=11, workstations=4, duration=50.0, jobs=5,
+                       adversarial=True)
+    assert first.violations == []
+    # The adversarial machinery actually engaged...
+    assert first.packets_duplicated > 0
+    assert first.duplicates_suppressed > 0
+    assert first.suspicions_declared > 0
+    # ...and the exactly-once contract held under it.
+    assert first.double_executions == 0
+    # Same seed + same plan => byte-identical traces, detector included.
+    assert first.fingerprint == second.fingerprint
+    assert first.to_dict() == second.to_dict()
+
+
+def test_invariant_checker_flags_double_execution():
+    cluster = SpriteCluster(workstations=2, start_daemons=False)
+    cluster.hosts[1].rpc.double_executions = 1   # forge a violation
+    violations = InvariantChecker(cluster).check()
+    assert "double-execution" in {v.kind for v in violations}

@@ -310,3 +310,203 @@ def test_rpc_server_counts_calls():
     sim.run_until_idle()
     assert endpoints.client.calls_made == 3
     assert endpoints.server.calls_served == 3
+
+
+# ----------------------------------------------------------------------
+# Exactly-once RPC under adversarial fabrics
+# ----------------------------------------------------------------------
+class _ScriptedRng:
+    """Deterministic fabric RNG: ``random()`` pops scripted draws (then
+    repeats the last one forever); ``uniform`` returns the low bound."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def random(self):
+        if len(self.values) > 1:
+            return self.values.pop(0)
+        return self.values[0]
+
+    def uniform(self, low, high):
+        return low
+
+
+def _adversarial_endpoints(sim, rng_values, **link):
+    from repro.faults import LinkFabric
+
+    endpoints = _Endpoints(sim)
+    fabric = LinkFabric(rng=_ScriptedRng(rng_values))
+    fabric.set_link(
+        endpoints.client_node.address, endpoints.server_node.address, **link
+    )
+    endpoints.lan.fabric = fabric
+    return endpoints
+
+
+def test_rpc_exactly_once_under_duplicating_link():
+    """A link that duplicates every request must not double-execute a
+    non-idempotent handler: the dedup cache absorbs the copies."""
+    sim = Simulator()
+    endpoints = _adversarial_endpoints(sim, [0.0], duplicate=0.5)
+    executed = []
+
+    def bump(args):
+        executed.append(args)
+        return len(executed)
+        yield  # pragma: no cover - makes this a generator
+
+    endpoints.server.register("bump", bump)
+
+    def caller():
+        results = []
+        for i in range(3):
+            results.append((yield from endpoints.client.call(
+                endpoints.server_node.address, "bump", i
+            )))
+        return results
+
+    task = spawn(sim, caller())
+    sim.run_until_idle()
+    assert task.result == [1, 2, 3]
+    assert executed == [0, 1, 2]                      # exactly once each
+    assert endpoints.server.duplicates_suppressed == 3
+    assert endpoints.server.double_executions == 0
+
+
+def test_rpc_timeout_none_survives_duplicating_link():
+    """Unbounded calls (timeout=None) under a duplicating link: the
+    duplicate reply is discarded by the fired-event guard."""
+    sim = Simulator()
+    endpoints = _adversarial_endpoints(sim, [0.0], duplicate=0.9)
+
+    def echo(args):
+        yield Sleep(0.01)
+        return args
+
+    endpoints.server.register("echo", echo)
+
+    def caller():
+        return (yield from endpoints.client.call(
+            endpoints.server_node.address, "echo", "payload", timeout=None
+        ))
+
+    task = spawn(sim, caller())
+    sim.run_until_idle()
+    assert task.result == "payload"
+    assert endpoints.server.duplicates_suppressed >= 1
+    assert endpoints.server.double_executions == 0
+
+
+def test_rpc_corrupted_request_dropped_then_retry_succeeds():
+    """A corrupted request is checksum-dropped at the server; the
+    client's timeout retry (same req_id) lands clean and succeeds."""
+    sim = Simulator()
+    # First draw corrupts the first request; every later draw is clean.
+    endpoints = _adversarial_endpoints(sim, [0.0, 0.9], corrupt=0.5)
+    endpoints.params.rpc_timeout = 0.5
+    executed = []
+
+    def once(args):
+        executed.append(args)
+        return "ok"
+        yield  # pragma: no cover - makes this a generator
+
+    endpoints.server.register("once", once)
+
+    def caller():
+        return (yield from endpoints.client.call(
+            endpoints.server_node.address, "once", None
+        ))
+
+    task = spawn(sim, caller())
+    sim.run_until_idle()
+    assert task.result == "ok"
+    assert endpoints.server.checksum_failures == 1
+    assert len(executed) == 1
+    assert endpoints.server.double_executions == 0
+
+
+def test_rpc_retry_exhaustion_under_corrupting_link_times_out():
+    """Every attempt corrupted => every attempt checksum-dropped =>
+    the caller exhausts its retries and surfaces RpcTimeout."""
+    sim = Simulator()
+    endpoints = _adversarial_endpoints(sim, [0.0], corrupt=0.9)
+    endpoints.params.rpc_timeout = 0.5
+
+    def never(args):
+        return "unreachable"
+        yield  # pragma: no cover - makes this a generator
+
+    endpoints.server.register("never", never)
+
+    def caller():
+        try:
+            yield from endpoints.client.call(
+                endpoints.server_node.address, "never", None
+            )
+        except RpcTimeout:
+            return "timed-out"
+
+    task = spawn(sim, caller())
+    sim.run_until_idle()
+    assert task.result == "timed-out"
+    attempts = endpoints.params.rpc_retries + 1
+    assert endpoints.server.checksum_failures == attempts
+    assert endpoints.server.calls_served == 0
+
+
+def test_rpc_retry_later_backs_off_and_reraises_after_exhaustion():
+    """RetryLaterError is explicit backpressure: each retry re-attempts
+    admission (the dedup cache forgets busy refusals), and exhaustion
+    re-raises RetryLaterError — never RpcTimeout or HostDownError."""
+    from repro.net import RetryLaterError
+
+    sim = Simulator()
+    endpoints = _Endpoints(sim)
+    admissions = []
+
+    def busy(args):
+        admissions.append(sim.now)
+        raise RetryLaterError("at capacity")
+        yield  # pragma: no cover - makes this a generator
+
+    endpoints.server.register("busy", busy)
+
+    def caller():
+        try:
+            yield from endpoints.client.call(
+                endpoints.server_node.address, "busy", None
+            )
+        except RetryLaterError:
+            return "retry-later"
+
+    task = spawn(sim, caller())
+    sim.run_until_idle()
+    assert task.result == "retry-later"
+    # Every attempt reached the handler (no memoized "busy" replay) and
+    # none of them counted as a double execution.
+    assert len(admissions) == endpoints.params.rpc_retries + 1
+    assert endpoints.server.double_executions == 0
+    # The retries were spaced by backoff, not fired back-to-back.
+    assert admissions == sorted(admissions)
+    assert admissions[1] - admissions[0] >= endpoints.params.rpc_backoff_base
+
+
+def test_bounded_inbox_overflow_is_counted_backpressure():
+    """A full bounded inbox drops the packet and counts it — no
+    exception; senders discover the loss by timeout."""
+    sim = Simulator()
+    lan = make_lan(sim, net_inbox_capacity=2)
+    a = make_node(sim, lan, "a")
+    b = make_node(sim, lan, "b")
+
+    def sender():
+        for i in range(5):
+            yield from lan.send(
+                Packet(a.address, b.address, "flood", i, size=100)
+            )
+
+    spawn(sim, sender())
+    sim.run_until_idle()
+    assert len(b.inbox) == 2
+    assert lan.inbox_overflows == 3
