@@ -14,12 +14,24 @@ AST, so a violating PR fails CI even when no test covers the new code:
   handlers are generator coroutines.
 * :mod:`.rules_txn` — journaled steps come from ``TXN_STEPS``; undo-log
   kinds are pushed and replayed symmetrically.
-* :mod:`.rules_errors` — ``net/``, ``fs/`` and ``migration/`` raise
-  only through the unified error hierarchies.
+* :mod:`.rules_exceptions` — exceptions escaping ``net/``, ``fs/``,
+  ``migration/`` and ``checkpoint/`` entry points (transitively, along
+  the call graph) stay inside the unified error hierarchies.
 * :mod:`.rules_state` — no module-level mutable state (process-wide
   counters/caches); per-cluster state lives in ``sim.state``.
 * :mod:`.rules_packaging` — migration and checkpointing stay on the
   shared process-packaging helpers (no divergent copies).
+* :mod:`.rules_coroutine` — coroutine calls are driven (`yield from`/
+  spawn), never discarded or truth-tested.
+* :mod:`.rules_taint` — wall-clock/entropy taint cannot reach sim code
+  through helper returns.
+* :mod:`.rules_snapshot` — spawn factories are picklable and their
+  reachable code touches no module-level mutable state.
+
+The interprocedural rules share one whole-tree call graph
+(:mod:`.callgraph`) and a summary-based dataflow engine
+(:mod:`.dataflow`); see ``python -m repro lint --graph`` for the
+reachability/dead-code report and DOT/JSON dumps.
 
 Run it as ``python -m repro lint``; see ``docs/static-analysis.md`` for
 the rule catalogue, the ``# lint: disable=RULE(reason)`` pragma, and
@@ -39,12 +51,15 @@ from .core import (
 )
 
 # Importing the rule modules registers their rules.
+from . import rules_coroutine  # noqa: F401
 from . import rules_determinism  # noqa: F401
-from . import rules_errors  # noqa: F401
+from . import rules_exceptions  # noqa: F401
 from . import rules_observability  # noqa: F401
 from . import rules_packaging  # noqa: F401
 from . import rules_rpc  # noqa: F401
+from . import rules_snapshot  # noqa: F401
 from . import rules_state  # noqa: F401
+from . import rules_taint  # noqa: F401
 from . import rules_txn  # noqa: F401
 
 __all__ = [

@@ -1,0 +1,116 @@
+"""Content-hash-keyed lint result cache (opt-in via ``--cache``).
+
+The interprocedural rules pay for a whole-tree call-graph build plus
+dataflow fixpoints on every run.  All of it is a pure function of the
+source tree and the rule set, so a warm CI runner (or a pre-commit
+hook) can skip the entire parse-and-analyze pass when nothing changed:
+
+* **key** — sha256 over a schema version, the selected rule ids, and
+  every file's ``(rel path, sha256(contents))`` pair, in sorted order.
+  Any edit, rename, addition or deletion changes the key.
+* **value** — the *pre-baseline* outcome: kept findings (post-pragma,
+  pragmas are content-derived), the pragma-suppressed count, and parse
+  errors.  The baseline is re-applied on every load, so updating
+  ``tools/lint_baseline.json`` never serves stale verdicts.
+
+The cache is a single JSON file (``tools/lint_cache.json`` by default),
+holds exactly one entry, and is safe to delete at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .core import Finding, LintResult
+
+__all__ = ["DEFAULT_CACHE_PATH", "cache_key", "load_cached", "store"]
+
+_SCHEMA = 1
+
+DEFAULT_CACHE_PATH = (
+    pathlib.Path(__file__).resolve().parents[3] / "tools" / "lint_cache.json"
+)
+
+
+def _tree_files(root: pathlib.Path) -> Iterable[pathlib.Path]:
+    # mirror Tree.load's file set, including its analysis/ exclusion
+    for path in sorted(root.rglob("*.py")):
+        if "analysis" not in path.relative_to(root).parts[:1]:
+            yield path
+
+
+def cache_key(root: pathlib.Path, rule_ids: Sequence[str]) -> str:
+    digest = hashlib.sha256()
+    digest.update(f"schema={_SCHEMA}\n".encode())
+    digest.update(("rules=" + ",".join(sorted(rule_ids)) + "\n").encode())
+    for path in _tree_files(root):
+        rel = path.relative_to(root).as_posix()
+        body = hashlib.sha256(path.read_bytes()).hexdigest()
+        digest.update(f"{rel}={body}\n".encode())
+    return digest.hexdigest()
+
+
+def _finding_to_json(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": str(finding.path),
+        "rel": finding.rel,
+        "line": finding.line,
+        "message": finding.message,
+        "snippet": finding.snippet,
+    }
+
+
+def _finding_from_json(data: dict) -> Finding:
+    return Finding(
+        rule=data["rule"],
+        path=pathlib.Path(data["path"]),
+        rel=data["rel"],
+        line=data["line"],
+        message=data["message"],
+        snippet=data.get("snippet", ""),
+    )
+
+
+def load_cached(
+    cache_path: pathlib.Path, key: str
+) -> Optional[Tuple[List[Finding], int, List[Finding]]]:
+    """``(kept findings, suppressed count, parse errors)`` on a hit."""
+    try:
+        data = json.loads(cache_path.read_text())
+    except (OSError, ValueError):
+        return None
+    if data.get("schema") != _SCHEMA or data.get("key") != key:
+        return None
+    try:
+        findings = [_finding_from_json(f) for f in data["findings"]]
+        parse_errors = [_finding_from_json(f) for f in data["parse_errors"]]
+        suppressed = int(data["suppressed"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    return findings, suppressed, parse_errors
+
+
+def store(cache_path: pathlib.Path, key: str, result: LintResult,
+          pre_baseline_findings: List[Finding]) -> None:
+    cache_path.parent.mkdir(parents=True, exist_ok=True)
+    cache_path.write_text(
+        json.dumps(
+            {
+                "schema": _SCHEMA,
+                "key": key,
+                "findings": [
+                    _finding_to_json(f) for f in pre_baseline_findings
+                ],
+                "suppressed": result.suppressed,
+                "parse_errors": [
+                    _finding_to_json(f) for f in result.parse_errors
+                ],
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -57,6 +57,27 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="build the whole-tree call graph and print the "
+        "reachability/dead-code report instead of linting "
+        "(--json for a machine-readable dump, --dot for GraphViz)",
+    )
+    parser.add_argument(
+        "--dot",
+        action="store_true",
+        help="with --graph: emit GraphViz DOT on stdout",
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="CACHE_FILE",
+        help="reuse lint results when the tree is unchanged "
+        "(content-hash key; default file tools/lint_cache.json)",
+    )
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -71,14 +92,32 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(f"lint: not a directory: {src_root}", file=sys.stderr)
         return 2
 
+    if args.graph:
+        return _cmd_graph(args, src_root)
+
     baseline: Optional[Baseline] = None
     # Fixture trees (--path) never consult the repo baseline.
     use_baseline = args.path is None and not args.no_baseline
     if use_baseline and args.baseline != "update":
         baseline = Baseline.load(DEFAULT_BASELINE_PATH)
 
+    cache_path: Optional[pathlib.Path] = None
+    if args.cache is not None:
+        from .cache import DEFAULT_CACHE_PATH
+
+        cache_path = (
+            DEFAULT_CACHE_PATH
+            if args.cache == "default"
+            else pathlib.Path(args.cache)
+        )
+
     try:
-        result = run_lint(src_root, rule_ids=args.rule, baseline=baseline)
+        result = run_lint(
+            src_root,
+            rule_ids=args.rule,
+            baseline=baseline,
+            cache_path=cache_path,
+        )
     except KeyError as err:
         print(f"lint: {err.args[0]}", file=sys.stderr)
         return 2
@@ -121,3 +160,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
             suffix = f" ({', '.join(extras)})" if extras else ""
             print(f"lint: clean{suffix}")
     return 1 if everything else 0
+
+
+def _cmd_graph(args: argparse.Namespace, src_root: pathlib.Path) -> int:
+    """``lint --graph``: call-graph dump / dead-code report."""
+    from .core import Tree
+
+    tree = Tree.load(src_root)
+    graph = tree.callgraph()
+    if args.dot:
+        sys.stdout.write(graph.to_dot())
+    elif args.json:
+        print(json.dumps(graph.to_dict(), indent=2))
+    else:
+        print(graph.render_report())
+    return 0

@@ -190,6 +190,7 @@ class Tree:
         self.root = root
         self.modules = list(modules)
         self._by_rel = {module.rel: module for module in self.modules}
+        self._callgraph = None  # built lazily, shared by every rule
 
     @classmethod
     def load(cls, root: pathlib.Path) -> "Tree":
@@ -206,6 +207,15 @@ class Tree:
 
     def parsed(self) -> List[ModuleInfo]:
         return [module for module in self.modules if module.tree is not None]
+
+    def callgraph(self):
+        """The whole-tree :class:`~repro.analysis.callgraph.CallGraph`,
+        built on first use and shared by every interprocedural rule."""
+        if self._callgraph is None:
+            from .callgraph import CallGraph
+
+            self._callgraph = CallGraph.build(self)
+        return self._callgraph
 
 
 # ----------------------------------------------------------------------
@@ -255,9 +265,43 @@ def run_lint(
     src_root: Optional[pathlib.Path] = None,
     rule_ids: Optional[Sequence[str]] = None,
     baseline: Optional["Baseline"] = None,  # noqa: F821 - fwd ref
+    cache_path: Optional[pathlib.Path] = None,
 ) -> LintResult:
-    """Lint every module under ``src_root`` with the selected rules."""
+    """Lint every module under ``src_root`` with the selected rules.
+
+    With ``cache_path`` set, a content-hash key over the tree and rule
+    selection is checked first: on a hit the parse/analyze pass is
+    skipped entirely and only the baseline is re-applied (pragmas are
+    content-derived, so cached findings are already post-pragma).
+    """
     root = (src_root or default_src_root()).resolve()
+    selected = all_rules()
+    if rule_ids is not None:
+        wanted = set(rule_ids)
+        unknown = wanted - {rule.id for rule in selected}
+        if unknown:
+            raise KeyError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}"
+            )
+        selected = [rule for rule in selected if rule.id in wanted]
+
+    key: Optional[str] = None
+    if cache_path is not None:
+        from . import cache as _cache
+
+        key = _cache.cache_key(root, [rule.id for rule in selected])
+        hit = _cache.load_cached(cache_path, key)
+        if hit is not None:
+            kept, suppressed, parse_errors = hit
+            result = LintResult(
+                suppressed=suppressed, parse_errors=parse_errors
+            )
+            if baseline is not None:
+                kept, grandfathered = baseline.filter(kept)
+                result.baselined = grandfathered
+            result.findings = kept
+            return result
+
     tree = Tree.load(root)
     result = LintResult()
     for module in tree.modules:
@@ -271,15 +315,6 @@ def run_lint(
                     message=f"syntax error: {module.error.msg}",
                 )
             )
-    selected = all_rules()
-    if rule_ids is not None:
-        wanted = set(rule_ids)
-        unknown = wanted - {rule.id for rule in selected}
-        if unknown:
-            raise KeyError(
-                f"unknown rule id(s): {', '.join(sorted(unknown))}"
-            )
-        selected = [rule for rule in selected if rule.id in wanted]
     raw: List[Finding] = []
     for rule in selected:
         raw.extend(rule.check(tree))
@@ -291,6 +326,10 @@ def run_lint(
             continue
         kept.append(finding)
     kept.sort(key=lambda f: (f.rel, f.line, f.rule, f.message))
+    if cache_path is not None and key is not None:
+        from . import cache as _cache
+
+        _cache.store(cache_path, key, result, kept)
     if baseline is not None:
         kept, grandfathered = baseline.filter(kept)
         result.baselined = grandfathered

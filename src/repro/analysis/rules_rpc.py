@@ -17,22 +17,26 @@ test may never walk.  These rules close the loop statically:
   re-executes it.
 
 Call-site names are resolved through module constants, class constants
-(``self.GOSSIP_SERVICE``) and one level of forwarding helpers — a
-method that passes its own parameter into the service slot of ``.call``
-(e.g. ``FsServer._callback``) has its call sites' literals collected.
+(``self.GOSSIP_SERVICE``) and forwarding helpers: a function that
+passes one of its own parameters into the service slot of ``.call``
+(e.g. ``FsServer._callback``) has the literals collected from its call
+sites, chased through the call graph to *any* forwarding depth — a
+helper calling a helper calling ``.call`` resolves the same way.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from .callgraph import CallGraph, FunctionNode
 from .core import (
     Finding,
     ModuleInfo,
     Rule,
     Tree,
     dotted_name,
+    enclosing_function,
     is_generator,
     register_rule,
     resolve_str_arg,
@@ -56,42 +60,69 @@ def _service_arg(call: ast.Call) -> Optional[ast.AST]:
     return None
 
 
+def _param_index(func: ast.AST, name: str) -> Optional[int]:
+    """0-based positional index of a parameter, after self/cls."""
+    params = [arg.arg for arg in func.args.args]  # type: ignore[union-attr]
+    if params and params[0] in ("self", "cls"):
+        params = params[1:]
+    try:
+        return params.index(name)
+    except ValueError:
+        return None
+
+
+def _chase_forwarded(
+    graph: CallGraph,
+    fn: FunctionNode,
+    param_name: str,
+    visited: Set[Tuple[Tuple[str, str], str]],
+) -> List[Tuple[ModuleInfo, ast.Call, str]]:
+    """Literal service names reaching ``param_name`` of ``fn`` from its
+    call sites, chased through forwarding helpers to any depth.
+
+    Call sites whose argument is neither a resolvable string nor a
+    parameter of *their* enclosing function are skipped conservatively,
+    exactly as the old one-level heuristic did.
+    """
+    results: List[Tuple[ModuleInfo, ast.Call, str]] = []
+    key = (fn.key, param_name)
+    if key in visited:
+        return results
+    visited.add(key)
+    index = _param_index(fn.node, param_name)
+    if index is None:
+        return results
+    for edge in graph.edges_in(fn):
+        if edge.call is None:
+            continue
+        call, module = edge.call, edge.module
+        arg: Optional[ast.AST] = None
+        for keyword in call.keywords:
+            if keyword.arg == param_name:
+                arg = keyword.value
+        if arg is None and index < len(call.args):
+            arg = call.args[index]
+        if arg is None:
+            continue
+        name = resolve_str_arg(module, call, arg)
+        if name is not None:
+            results.append((module, call, name))
+            continue
+        if isinstance(arg, ast.Name) and edge.caller is not None and \
+                _param_index(edge.caller.node, arg.id) is not None:
+            results.extend(
+                _chase_forwarded(graph, edge.caller, arg.id, visited)
+            )
+    return results
+
+
 def _collect(tree: Tree):
-    """One pass over the tree: registrations, calls, forwarding helpers."""
+    """One pass over the tree: registrations, calls, forwarded literals."""
+    graph: CallGraph = tree.callgraph()
     registered: Dict[str, List[_Site]] = {}
     handlers: List[Tuple[ModuleInfo, ast.Call, ast.AST]] = []
     called: Dict[str, List[_Site]] = {}
     unresolved_calls: List[_Site] = []
-    # (module.rel, helper-name) -> 0-based positional index (after self)
-    # of the parameter the helper forwards into the service slot.
-    helper_params: Dict[Tuple[str, str], int] = {}
-
-    for module in tree.parsed():
-        assert module.tree is not None
-        for func in ast.walk(module.tree):
-            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            params = [arg.arg for arg in func.args.args]
-            if params and params[0] in ("self", "cls"):
-                params = params[1:]
-            for node in ast.walk(func):
-                if not isinstance(node, ast.Call):
-                    continue
-                target = node.func
-                if not isinstance(target, ast.Attribute):
-                    continue
-                if target.attr == "call" and _is_rpc_receiver(
-                    dotted_name(target.value)
-                ):
-                    arg = _service_arg(node)
-                    if (
-                        isinstance(arg, ast.Name)
-                        and arg.id in params
-                        and resolve_str_arg(module, node, arg) is None
-                    ):
-                        helper_params[(module.rel, func.name)] = params.index(
-                            arg.id
-                        )
 
     for module in tree.parsed():
         assert module.tree is not None
@@ -113,38 +144,33 @@ def _collect(tree: Tree):
             elif target.attr == "call" and _is_rpc_receiver(receiver):
                 arg = _service_arg(node)
                 name = resolve_str_arg(module, node, arg)
-                if name is None:
-                    if not _inside_helper(module, node, arg, helper_params):
-                        unresolved_calls.append((module, node))
-                else:
-                    called.setdefault(name, []).append((module, node))
-            elif (module.rel, target.attr) in helper_params:
-                index = helper_params[(module.rel, target.attr)]
-                arg: Optional[ast.AST] = None
-                if index < len(node.args):
-                    arg = node.args[index]
-                name = resolve_str_arg(module, node, arg)
                 if name is not None:
                     called.setdefault(name, []).append((module, node))
+                    continue
+                # forwarding helper: the service slot holds one of the
+                # enclosing function's own parameters — collect the
+                # literals its (transitive) call sites pass in.
+                func_ast = (
+                    enclosing_function(module, node)
+                    if isinstance(arg, ast.Name) else None
+                )
+                fn = (
+                    graph.function_of(func_ast)
+                    if func_ast is not None else None
+                )
+                if (
+                    fn is not None
+                    and isinstance(arg, ast.Name)
+                    and _param_index(fn.node, arg.id) is not None
+                ):
+                    for cmodule, csite, cname in _chase_forwarded(
+                        graph, fn, arg.id, set()
+                    ):
+                        called.setdefault(cname, []).append((cmodule, csite))
+                else:
+                    unresolved_calls.append((module, node))
 
     return registered, handlers, called, unresolved_calls
-
-
-def _inside_helper(
-    module: ModuleInfo,
-    call: ast.Call,
-    arg: Optional[ast.AST],
-    helper_params: Dict[Tuple[str, str], int],
-) -> bool:
-    """Is this the body of a forwarding helper passing its own param?"""
-    if not isinstance(arg, ast.Name):
-        return False
-    parent = module.parents.get(call)
-    while parent is not None:
-        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            return (module.rel, parent.name) in helper_params
-        parent = module.parents.get(parent)
-    return False
 
 
 class UnregisteredServiceRule(Rule):

@@ -48,7 +48,11 @@ class Resource:
             self.sim.defer(waiter._resume, None)
         else:
             if self.in_use <= 0:
-                raise RuntimeError(f"resource {self.name!r} released when free")
+                # double-release is a bug in simulation code, and this
+                # path is reachable from RPC handlers (exception-flow):
+                # use a programmer-error builtin that crashes loudly
+                # rather than punching past `except RpcError`.
+                raise ValueError(f"resource {self.name!r} released when free")
             self.in_use -= 1
 
     def hold(self, duration: float) -> Generator[Effect, None, None]:

@@ -589,6 +589,72 @@ def test_rpc_forwarding_helper_resolution(tmp_path):
     assert findings == []
 
 
+def test_rpc_forwarding_multi_hop_resolution(tmp_path):
+    # Call-graph-based forwarding resolution: a helper calling a helper
+    # calling `.call` resolves literals through BOTH hops — the old
+    # one-level heuristic could not see `notify -> _relay -> _callback`.
+    findings = findings_of(
+        tmp_path,
+        {
+            "server.py": """\
+            class Server:
+                def _callback(self, client, service, args):
+                    return (yield from self.rpc.call(client, service, args))
+
+                def _relay(self, client, service):
+                    yield from self._callback(client, service, None)
+
+                def notify(self, client):
+                    yield from self._relay(client, "cli.poke")
+            """,
+            "client.py": """\
+            class Client:
+                def install(self, rpc):
+                    rpc.register("cli.poke", self._rpc_poke)
+
+                def _rpc_poke(self, args):
+                    yield
+            """,
+        },
+        ["rpc-unregistered-service", "rpc-unused-service"],
+    )
+    assert findings == []
+
+
+def test_rpc_forwarding_multi_hop_catches_typo(tmp_path):
+    # The same chain with a typo'd literal at the outermost hop must
+    # still produce an unregistered-service finding at that call site.
+    findings = findings_of(
+        tmp_path,
+        {
+            "server.py": """\
+            class Server:
+                def _callback(self, client, service, args):
+                    return (yield from self.rpc.call(client, service, args))
+
+                def _relay(self, client, service):
+                    yield from self._callback(client, service, None)
+
+                def notify(self, client):
+                    yield from self._relay(client, "cli.pokee")
+            """,
+            "client.py": """\
+            class Client:
+                def install(self, rpc):
+                    rpc.register("cli.poke", self._rpc_poke)
+                    yield from self.rpc.call(0, "cli.poke", None)
+
+                def _rpc_poke(self, args):
+                    yield
+            """,
+        },
+        ["rpc-unregistered-service"],
+    )
+    assert rule_ids(findings) == ["rpc-unregistered-service"]
+    assert "cli.pokee" in findings[0].message
+    assert findings[0].rel == "server.py"
+
+
 # ----------------------------------------------------------------------
 # txn rules
 # ----------------------------------------------------------------------
@@ -695,7 +761,7 @@ def test_txn_undo_coverage_negative(tmp_path):
 
 
 # ----------------------------------------------------------------------
-# error-hierarchy
+# exception-flow (interprocedural successor of error-hierarchy)
 # ----------------------------------------------------------------------
 _NET_ERRORS = """\
 class RpcError(Exception):
@@ -712,7 +778,7 @@ class FsError(Exception):
 """
 
 
-def test_error_hierarchy_positive(tmp_path):
+def test_exception_flow_direct_raise_positive(tmp_path):
     findings = findings_of(
         tmp_path,
         {
@@ -724,13 +790,15 @@ def test_error_hierarchy_positive(tmp_path):
                     raise RuntimeError("inbox full")
             """,
         },
-        ["error-hierarchy"],
+        ["exception-flow"],
     )
-    assert rule_ids(findings) == ["error-hierarchy"]
+    assert rule_ids(findings) == ["exception-flow"]
     assert "RuntimeError" in findings[0].message
+    assert findings[0].rel == "net/lan.py"
+    assert findings[0].line == 3
 
 
-def test_error_hierarchy_negative(tmp_path):
+def test_exception_flow_negative(tmp_path):
     findings = findings_of(
         tmp_path,
         {
@@ -754,12 +822,121 @@ def test_error_hierarchy_negative(tmp_path):
                 raise RuntimeError("kernel/ is not in scope for this rule")
             """,
         },
-        ["error-hierarchy"],
+        ["exception-flow"],
     )
     assert findings == []
 
 
-def test_error_hierarchy_pragma(tmp_path):
+def test_exception_flow_transitive_escape(tmp_path):
+    """A builtin raised two calls below a scoped entry point is caught
+    even though the raise site itself lives outside the scoped dirs."""
+    findings = findings_of(
+        tmp_path,
+        {
+            "net/errors.py": _NET_ERRORS,
+            "fs/errors.py": _FS_ERRORS,
+            "kernel/helper.py": """\
+            def inner(flag):
+                if flag:
+                    raise OSError("deep failure")
+
+
+            def outer(flag):
+                inner(flag)
+            """,
+            "net/lan.py": """\
+            from ..kernel.helper import outer
+
+
+            def deliver(flag):
+                outer(flag)
+            """,
+        },
+        ["exception-flow"],
+    )
+    assert rule_ids(findings) == ["exception-flow"]
+    assert findings[0].rel == "kernel/helper.py"
+    assert findings[0].line == 3
+    assert "escapes `deliver`" in findings[0].message
+
+
+def test_exception_flow_caught_by_hierarchy_ancestor(tmp_path):
+    """try/except filtering is hierarchy-aware: catching the tree base
+    class (or Exception) stops the escape, both for tree classes and
+    builtins."""
+    findings = findings_of(
+        tmp_path,
+        {
+            "net/errors.py": _NET_ERRORS,
+            "fs/errors.py": _FS_ERRORS,
+            "kernel/helper.py": """\
+            def fail():
+                raise OSError("handled below")
+            """,
+            "net/lan.py": """\
+            from ..kernel.helper import fail
+
+
+            def deliver():
+                try:
+                    fail()
+                except OSError:
+                    return None
+            """,
+        },
+        ["exception-flow"],
+    )
+    assert findings == []
+
+
+def test_exception_flow_handler_reraise_escapes(tmp_path):
+    """A bare `raise` inside an except clause re-raises what the
+    handler caught, so the exception still escapes."""
+    findings = findings_of(
+        tmp_path,
+        {
+            "net/errors.py": _NET_ERRORS,
+            "fs/errors.py": _FS_ERRORS,
+            "net/lan.py": """\
+            def deliver():
+                try:
+                    raise OSError("transient")
+                except OSError:
+                    raise
+            """,
+        },
+        ["exception-flow"],
+    )
+    assert rule_ids(findings) == ["exception-flow"]
+    assert findings[0].line == 3
+
+
+def test_exception_flow_registered_handler_is_entry_point(tmp_path):
+    """An RPC handler outside the scoped dirs is still an entry point:
+    its transitive escapes are checked."""
+    findings = findings_of(
+        tmp_path,
+        {
+            "net/errors.py": _NET_ERRORS,
+            "fs/errors.py": _FS_ERRORS,
+            "baselines/surrogate.py": """\
+            class Surrogate:
+                def attach(self, port):
+                    port.register("surrogate.exec", self._handler)
+
+                def _handler(self, src, payload):
+                    raise RuntimeError("boom")
+                    yield None
+            """,
+        },
+        ["exception-flow"],
+    )
+    assert rule_ids(findings) == ["exception-flow"]
+    assert findings[0].rel == "baselines/surrogate.py"
+    assert "RuntimeError" in findings[0].message
+
+
+def test_exception_flow_pragma(tmp_path):
     root = make_tree(
         tmp_path,
         {
@@ -768,12 +945,12 @@ def test_error_hierarchy_pragma(tmp_path):
             "net/lan.py": """\
             def deliver(ok):
                 if not ok:
-                    # lint: disable=error-hierarchy(model invariant violation)
+                    # lint: disable=exception-flow(model invariant violation)
                     raise RuntimeError("inbox full")
             """,
         },
     )
-    result = run_lint(root, rule_ids=["error-hierarchy"])
+    result = run_lint(root, rule_ids=["exception-flow"])
     assert result.findings == []
     assert result.suppressed == 1
 
@@ -985,7 +1162,10 @@ def test_cli_lint_list_rules(capsys):
         "obs-unguarded-emit",
         "rpc-unregistered-service",
         "txn-unknown-step",
-        "error-hierarchy",
+        "exception-flow",
+        "coroutine-protocol",
+        "determinism-taint",
+        "snapshot-safety",
     ):
         assert rule in out
 
@@ -1226,3 +1406,558 @@ def test_span_catalogue_exempts_obs_layer(tmp_path):
         ["obs-span-catalogue"],
     )
     assert findings == []
+
+
+# ----------------------------------------------------------------------
+# coroutine-protocol
+# ----------------------------------------------------------------------
+def test_coroutine_discarded_call_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "sim/worker.py": """\
+            class Worker:
+                def step(self):
+                    yield 1
+
+                def run(self):
+                    self.step()
+                    yield 2
+            """
+        },
+        ["coroutine-protocol"],
+    )
+    assert rule_ids(findings) == ["coroutine-protocol"]
+    assert findings[0].rel == "sim/worker.py"
+    assert findings[0].line == 6
+    assert "yield from" in findings[0].message
+
+
+def test_coroutine_yield_instead_of_yield_from_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "sim/worker.py": """\
+            def step():
+                yield 1
+
+
+            def run():
+                yield step()
+            """
+        },
+        ["coroutine-protocol"],
+    )
+    assert rule_ids(findings) == ["coroutine-protocol"]
+    assert "yield from" in findings[0].message
+
+
+def test_coroutine_truthiness_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "sim/worker.py": """\
+            def recv():
+                yield 1
+
+
+            def run():
+                if recv():
+                    return True
+                yield 2
+            """
+        },
+        ["coroutine-protocol"],
+    )
+    assert rule_ids(findings) == ["coroutine-protocol"]
+    assert "always truthy" in findings[0].message
+
+
+def test_coroutine_negative_driven_calls(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "sim/worker.py": """\
+            def step():
+                yield 1
+
+
+            def run(sim, spawn):
+                gen = step()
+                yield from step()
+                spawn(sim, step)
+                return gen
+            """
+        },
+        ["coroutine-protocol"],
+    )
+    assert findings == []
+
+
+def test_coroutine_mixed_candidates_not_guessed(tmp_path):
+    # `obj.close()` where one tree class has a coroutine close and
+    # another a plain close is ambiguous: never flagged.
+    findings = findings_of(
+        tmp_path,
+        {
+            "sim/a.py": """\
+            class Stream:
+                def close(self):
+                    yield 1
+
+
+            class Lease:
+                def close(self):
+                    return None
+
+
+            def run(obj):
+                obj.close()
+            """
+        },
+        ["coroutine-protocol"],
+    )
+    assert findings == []
+
+
+def test_coroutine_pragma(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {
+            "sim/worker.py": """\
+            def step():
+                yield 1
+
+
+            def run():
+                # lint: disable=coroutine-protocol(builds a detached generator on purpose)
+                step()
+                yield 2
+            """
+        },
+    )
+    result = run_lint(root, rule_ids=["coroutine-protocol"])
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# determinism-taint
+# ----------------------------------------------------------------------
+def test_taint_helper_return_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "obs/clock.py": """\
+            import time
+
+
+            def stamp():
+                return time.time()
+            """,
+            "sim/engine.py": """\
+            from ..obs.clock import stamp
+
+
+            def tick(state):
+                state.t = stamp()
+            """,
+        },
+        ["determinism-taint"],
+    )
+    assert rule_ids(findings) == ["determinism-taint"]
+    assert findings[0].rel == "sim/engine.py"
+    assert "obs/clock.py:5" in findings[0].message
+
+
+def test_taint_flows_through_chain_and_locals(tmp_path):
+    # taint survives an intermediate helper and a local rebind
+    findings = findings_of(
+        tmp_path,
+        {
+            "kernel/helper.py": """\
+            import time
+
+
+            def now():
+                t = time.time()
+                return t
+
+
+            def laundered():
+                value = now()
+                return value + 1.0
+            """,
+            "sim/engine.py": """\
+            from ..kernel.helper import laundered
+
+
+            def tick(state):
+                state.t = laundered()
+            """,
+        },
+        ["determinism-taint"],
+    )
+    rels = sorted({finding.rel for finding in findings})
+    assert "sim/engine.py" in rels
+    assert all(f.rule == "determinism-taint" for f in findings)
+
+
+def test_taint_pragma_on_source_does_not_bless_consumers(tmp_path):
+    # the wallclock pragma justifies the source's own use; the taint
+    # rule still flags sim-side consumption of the returned value.
+    findings = findings_of(
+        tmp_path,
+        {
+            "kernel/helper.py": """\
+            import time
+
+
+            def host_seconds():
+                return time.time()  # lint: disable=determinism-wallclock(host-side profiling)
+            """,
+            "sim/engine.py": """\
+            from ..kernel.helper import host_seconds
+
+
+            def tick(state):
+                state.t = host_seconds()
+            """,
+        },
+        ["determinism-taint"],
+    )
+    assert rule_ids(findings) == ["determinism-taint"]
+
+
+def test_taint_negative_exempt_consumer_and_clean_helper(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "kernel/helper.py": """\
+            import time
+
+
+            def host_seconds():
+                return time.time()
+
+
+            def pure(x):
+                return x + 1
+            """,
+            "obs/profile.py": """\
+            from ..kernel.helper import host_seconds
+
+
+            def sample(sink):
+                sink.append(host_seconds())
+            """,
+            "sim/engine.py": """\
+            from ..kernel.helper import pure
+
+
+            def tick(state):
+                state.t = pure(state.t)
+            """,
+        },
+        ["determinism-taint"],
+    )
+    assert findings == []
+
+
+def test_taint_pragma_at_call_site(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {
+            "kernel/helper.py": """\
+            import time
+
+
+            def host_seconds():
+                return time.time()
+            """,
+            "sim/engine.py": """\
+            from ..kernel.helper import host_seconds
+
+
+            def tick(state):
+                # lint: disable=determinism-taint(debug-only path, stripped in runs)
+                state.t = host_seconds()
+            """,
+        },
+    )
+    result = run_lint(root, rule_ids=["determinism-taint"])
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# snapshot-safety
+# ----------------------------------------------------------------------
+def test_snapshot_lambda_factory_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "sim/boot.py": """\
+            def install(sim, spawn):
+                spawn(sim, lambda: None)
+            """
+        },
+        ["snapshot-safety"],
+    )
+    assert rule_ids(findings) == ["snapshot-safety"]
+    assert "lambda" in findings[0].message
+
+
+def test_snapshot_nested_closure_factory_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "sim/boot.py": """\
+            def install(sim, spawn):
+                def worker():
+                    yield 1
+
+                spawn(sim, worker)
+            """
+        },
+        ["snapshot-safety"],
+    )
+    assert rule_ids(findings) == ["snapshot-safety"]
+    assert "nested" in findings[0].message
+
+
+def test_snapshot_reachable_mutable_global_positive(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "kernel/registry.py": """\
+            # lint: disable=state-module-mutable(deliberate registry)
+            _SEEN = []
+            SEEN = {"a": 1}
+            seen_cache = []
+
+
+            def record(x):
+                seen_cache.append(x)
+            """,
+            "sim/boot.py": """\
+            from ..kernel.registry import record
+
+
+            def worker():
+                record(1)
+                yield 1
+
+
+            def install(sim, spawn):
+                spawn(sim, worker)
+            """,
+        },
+        ["snapshot-safety"],
+    )
+    assert rule_ids(findings) == ["snapshot-safety"]
+    assert findings[0].rel == "kernel/registry.py"
+    assert "seen_cache" in findings[0].message
+    assert "worker" in findings[0].message or "record" in findings[0].message
+
+
+def test_snapshot_negative_clean_factory_and_immediate_gen(tmp_path):
+    findings = findings_of(
+        tmp_path,
+        {
+            "sim/boot.py": """\
+            def worker():
+                yield 1
+
+
+            def other(sim):
+                yield 2
+
+
+            def install(sim, spawn):
+                spawn(sim, worker)
+                spawn(sim, other(sim))
+            """
+        },
+        ["snapshot-safety"],
+    )
+    assert findings == []
+
+
+def test_snapshot_partial_factory_payload_checked(tmp_path):
+    # partial(fn, ...) factories root the reachability at fn
+    findings = findings_of(
+        tmp_path,
+        {
+            "kernel/registry.py": """\
+            ids = []
+
+
+            def bump(x):
+                ids.append(x)
+            """,
+            "sim/boot.py": """\
+            from functools import partial
+
+            from ..kernel.registry import bump
+
+
+            def program(arg):
+                bump(arg)
+                yield 1
+
+
+            def install(sim, spawn):
+                spawn(sim, partial(program, 7))
+            """,
+        },
+        ["snapshot-safety"],
+    )
+    assert rule_ids(findings) == ["snapshot-safety"]
+    assert "ids" in findings[0].message
+
+
+def test_snapshot_pragma(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {
+            "sim/boot.py": """\
+            def install(sim, spawn):
+                # lint: disable=snapshot-safety(test-only scaffold, never snapshotted)
+                spawn(sim, lambda: None)
+            """
+        },
+    )
+    result = run_lint(root, rule_ids=["snapshot-safety"])
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# lint --cache (content-hash result cache)
+# ----------------------------------------------------------------------
+def test_cache_hit_and_invalidation(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {"mod.py": "import time\n\ndef f():\n    return time.time()\n"},
+    )
+    cache_file = tmp_path / "cache.json"
+    first = run_lint(root, cache_path=cache_file)
+    assert [f.rule for f in first.findings] == ["determinism-wallclock"]
+    assert cache_file.is_file()
+
+    # warm hit: identical findings served from the cache
+    cached = json.loads(cache_file.read_text())
+    cached["findings"][0]["message"] = "served from cache"
+    cache_file.write_text(json.dumps(cached))
+    second = run_lint(root, cache_path=cache_file)
+    assert second.findings[0].message == "served from cache"
+
+    # any edit changes the key and invalidates the entry
+    (root / "mod.py").write_text("def f():\n    return 1\n")
+    third = run_lint(root, cache_path=cache_file)
+    assert third.findings == []
+
+
+def test_cache_respects_rule_selection_and_baseline(tmp_path):
+    root = make_tree(
+        tmp_path,
+        {"mod.py": "import time\n\ndef f():\n    return time.time()\n"},
+    )
+    cache_file = tmp_path / "cache.json"
+    full = run_lint(root, cache_path=cache_file)
+    assert len(full.findings) == 1
+
+    # different rule selection -> different key -> no stale reuse
+    other = run_lint(
+        root, rule_ids=["coroutine-protocol"], cache_path=cache_file
+    )
+    assert other.findings == []
+
+    # baseline applies on top of a cache hit
+    warm = run_lint(root, cache_path=cache_file)
+    baseline = Baseline.from_findings(warm.findings)
+    grandfathered = run_lint(root, baseline=baseline, cache_path=cache_file)
+    assert grandfathered.findings == []
+    assert grandfathered.baselined == 1
+
+
+def test_cli_lint_cache_flag(tmp_path, capsys):
+    root = make_tree(
+        tmp_path,
+        {"mod.py": "def f():\n    return 1\n"},
+    )
+    cache_file = tmp_path / "cache.json"
+    code = cli_main(
+        ["lint", "--path", str(root), "--cache", str(cache_file)]
+    )
+    assert code == 0
+    assert cache_file.is_file()
+    capsys.readouterr()
+    code = cli_main(
+        ["lint", "--path", str(root), "--cache", str(cache_file)]
+    )
+    assert code == 0
+    assert "lint: clean" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# lint --graph (call-graph dump / dead-code report)
+# ----------------------------------------------------------------------
+def test_cli_lint_graph_report(tmp_path, capsys):
+    root = make_tree(
+        tmp_path,
+        {
+            "mod.py": """\
+            def used():
+                return 1
+
+
+            def unused():
+                return 2
+
+
+            def main():
+                return used()
+            """
+        },
+    )
+    code = cli_main(["lint", "--path", str(root), "--graph"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "call graph:" in out
+    assert "mod.py:5 unused" in out
+    assert "mod.py:1 used" not in out
+
+
+def test_cli_lint_graph_json_and_dot(tmp_path, capsys):
+    root = make_tree(
+        tmp_path,
+        {
+            "mod.py": """\
+            def callee():
+                return 1
+
+
+            def caller():
+                return callee()
+            """
+        },
+    )
+    code = cli_main(["lint", "--path", str(root), "--graph", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["stats"]["functions"] == 2
+    assert {
+        "caller": "mod.py::caller",
+        "callee": "mod.py::callee",
+        "kind": "call",
+        "sharp": True,
+    } in payload["edges"]
+    assert "mod.py::callee" not in payload["unreferenced"]
+
+    code = cli_main(["lint", "--path", str(root), "--graph", "--dot"])
+    dot = capsys.readouterr().out
+    assert code == 0
+    assert dot.startswith("digraph callgraph {")
+    assert '"mod.py::caller" -> "mod.py::callee"' in dot

@@ -41,9 +41,13 @@ def test_resource_capacity_two_allows_overlap():
 
 
 def test_release_when_free_is_an_error():
+    # ValueError, not RuntimeError: release() is reachable from RPC
+    # handlers, and exception-flow only lets the programmer-error
+    # builtins escape the hierarchy entry points (regression for the
+    # live-tree fix that rule surfaced).
     sim = Simulator()
     res = Resource(sim)
-    with pytest.raises(RuntimeError):
+    with pytest.raises(ValueError):
         res.release()
 
 
